@@ -1,0 +1,64 @@
+"""Ablation A1 — broadcast variables vs per-task closure shipping (§IV-C).
+
+The paper: naive per-task shipping of shared data makes the master's
+bandwidth the bottleneck; broadcast variables send it once per node.
+We run YAFIM both ways and compare the modeled network volume and the
+replayed time on the paper cluster.
+"""
+
+from __future__ import annotations
+
+from conftest import write_report
+from repro.bench.harness import replay_yafim, run_comparison
+from repro.bench.reporting import format_table
+from repro.cluster import PAPER_CLUSTER
+from repro.datasets import mushroom_like
+
+
+def _run(use_broadcast: bool):
+    # Small DFS blocks put the run in the regime the paper worries about:
+    # many more tasks than nodes, where per-task shipping multiplies the
+    # master's outbound volume.
+    return run_comparison(
+        mushroom_like(scale=0.15, seed=7),
+        0.35,
+        num_partitions=8,
+        dfs_block_size=2 * 1024,
+        yafim_kwargs={"use_broadcast": use_broadcast},
+    ).yafim
+
+
+def test_ablation_broadcast(benchmark):
+    with_bc, without_bc = benchmark.pedantic(
+        lambda: (_run(True), _run(False)), rounds=1, iterations=1
+    )
+    assert with_bc.itemsets == without_bc.itemsets
+
+    bc_bytes = sum(it.broadcast_bytes * PAPER_CLUSTER.nodes for it in with_bc.iterations)
+    closure_bytes = sum(it.closure_bytes for it in without_bc.iterations)
+    wire_bc = PAPER_CLUSTER.network_seconds(bc_bytes)
+    wire_closure = PAPER_CLUSTER.network_seconds(closure_bytes)
+    t_bc = replay_yafim(with_bc, PAPER_CLUSTER)
+    t_closure = replay_yafim(without_bc, PAPER_CLUSTER)
+
+    table = format_table(
+        ["variant", "candidate bytes on wire", "wire time (s)", "replayed time (s)"],
+        [
+            ("broadcast (paper)", bc_bytes, wire_bc, t_bc),
+            ("per-task closures", closure_bytes, wire_closure, t_closure),
+        ],
+        title="Ablation A1 — broadcast hash tree vs per-task shipping",
+    )
+    write_report("ablation_broadcast", table)
+    benchmark.extra_info["wire_bytes_ratio"] = round(closure_bytes / max(bc_bytes, 1), 2)
+
+    # The deterministic claim (§IV-C): shipping once per node moves fewer
+    # bytes — and therefore less wire time — than shipping once per task.
+    # (Total replayed times additionally contain measured task durations,
+    # whose run-to-run jitter can exceed the wire-time gap at this scale,
+    # so the assertion targets the modeled component.)
+    assert closure_bytes > 0 and bc_bytes > 0
+    assert closure_bytes > bc_bytes, (
+        "with tasks >> nodes, per-task shipping must move more bytes"
+    )
+    assert wire_closure > wire_bc

@@ -1,0 +1,55 @@
+"""Ablation A2 — cached transaction RDD vs re-reading every pass (§IV-B).
+
+The paper's core claim: loading transactions into memory once and
+re-scanning the cached RDD each iteration is what removes the
+per-iteration I/O of MapReduce.  Switching ``cache_transactions`` off
+makes every pass re-read and re-parse the DFS file, and the per-pass DFS
+read counters prove it.
+"""
+
+from __future__ import annotations
+
+from conftest import write_report
+from repro.bench.harness import run_comparison
+from repro.bench.reporting import format_table
+from repro.datasets import mushroom_like
+
+
+def _run(cache: bool):
+    return run_comparison(
+        mushroom_like(scale=0.08, seed=7),
+        0.35,
+        num_partitions=8,
+        dfs_block_size=8 * 1024,
+        yafim_kwargs={"cache_transactions": cache},
+    ).yafim
+
+
+def test_ablation_cache(benchmark):
+    cached, uncached = benchmark.pedantic(
+        lambda: (_run(True), _run(False)), rounds=1, iterations=1
+    )
+    assert cached.itemsets == uncached.itemsets
+
+    rows = []
+    for it_c, it_u in zip(cached.iterations, uncached.iterations):
+        rows.append(
+            (it_c.k, it_c.hdfs_read_bytes, it_u.hdfs_read_bytes, it_c.seconds, it_u.seconds)
+        )
+    table = format_table(
+        ["pass", "DFS read cached (B)", "DFS read uncached (B)", "cached (s)", "uncached (s)"],
+        rows,
+        title="Ablation A2 — transaction RDD caching",
+    )
+    write_report("ablation_cache", table)
+
+    # cached: only pass 1 touches the DFS; uncached: every pass re-reads
+    assert cached.iterations[0].hdfs_read_bytes > 0
+    assert all(it.hdfs_read_bytes == 0 for it in cached.iterations[1:])
+    assert all(it.hdfs_read_bytes > 0 for it in uncached.iterations)
+    total_reread = sum(it.hdfs_read_bytes for it in uncached.iterations)
+    benchmark.extra_info["reread_amplification"] = round(
+        total_reread / cached.iterations[0].hdfs_read_bytes, 1
+    )
+    assert total_reread >= len(uncached.iterations) * cached.iterations[0].hdfs_read_bytes * 0.9
+    assert uncached.total_seconds > cached.total_seconds

@@ -1,0 +1,94 @@
+"""Fig. 4(a-d) — sizeup at fixed 48 cores.
+
+The paper replicates each dataset 1-6x, fixes 48 cores (6 nodes x 8),
+and shows MRApriori's time growing sharply/near-linearly while YAFIM's
+stays nearly flat.  We rerun both systems on the replicated data (real
+measured tasks) and replay onto the fixed 48-core cluster model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+from repro.bench.harness import sizeup_series
+from repro.bench.reporting import format_table, sparkline
+from repro.cluster import ClusterSpec
+from repro.datasets import (
+    chess_like,
+    mushroom_like,
+    pumsb_star_like,
+    t10i4d100k_like,
+)
+
+#: 48 cores, as the paper fixes for the sizeup study.  The MR overheads
+#: are scaled down ~10x alongside the ~10-100x dataset shrinkage so that
+#: neither cost term degenerates: at paper scale both job startup AND
+#: per-iteration compute/I/O are material, and the rising MR curve comes
+#: from the growing part.  (With full-size overheads on miniature data the
+#: constant startup would flatten everything — see DESIGN.md.)
+SIZEUP_SPEC = ClusterSpec(
+    nodes=6, cores_per_node=8, mr_job_startup_s=0.4, mr_task_overhead_s=0.05
+)
+
+FACTORS = [1, 2, 3, 4, 5, 6]
+#: T10I4's candidate volume makes each factor ~10x costlier than the other
+#: datasets'; four factors keep the growth trend visible within budget.
+T10I4_FACTORS = [1, 2, 3, 4]
+
+#: Base sizes chosen so replication crosses the 48-core wave boundary
+#: (tasks per stage grow past one scheduling wave) between factor 1 and 6.
+WORKLOADS = {
+    "mushroom": (lambda: mushroom_like(scale=0.05, seed=7), 0.35, None),
+    # scale keeps the 0.25% threshold meaningful (>= 3 transactions);
+    # depth capped at 2: the sizeup figure is about data volume, and the
+    # full-depth T10I4 run at this relative density takes minutes/factor
+    "t10i4d100k": (lambda: t10i4d100k_like(scale=0.012, seed=7), 0.0025, 2),
+    "chess": (lambda: chess_like(scale=0.2, seed=7), 0.85, None),
+    "pumsb_star": (lambda: pumsb_star_like(scale=0.01, seed=7), 0.65, None),
+}
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_fig4_sizeup(benchmark, name):
+    make, sup, max_len = WORKLOADS[name]
+    factors = T10I4_FACTORS if name == "t10i4d100k" else FACTORS
+    series = benchmark.pedantic(
+        lambda: sizeup_series(
+            make, sup, factors, SIZEUP_SPEC,
+            num_partitions=8, max_length=max_len, dfs_block_size=2 * 1024,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [(f, mr, ya, mr / max(ya, 1e-9)) for f, mr, ya in series]
+    table = format_table(
+        ["replication", "MRApriori (s)", "YAFIM (s)", "ratio"],
+        rows,
+        title=(
+            f"Fig. 4 [{name}] sizeup @48 cores  "
+            f"(MR: {sparkline([r[1] for r in rows])} | "
+            f"YAFIM: {sparkline([r[2] for r in rows])})"
+        ),
+    )
+    write_report(f"fig4_{name}", table)
+
+    mr_times = np.array([mr for _f, mr, _y in series])
+    ya_times = np.array([ya for _f, _m, ya in series])
+    benchmark.extra_info["mr_growth"] = round(float(mr_times[-1] / mr_times[0]), 3)
+    benchmark.extra_info["yafim_growth"] = round(float(ya_times[-1] / ya_times[0]), 3)
+
+    # --- shape assertions: MR grows, YAFIM near-flat ----------------------
+    assert mr_times[-1] > mr_times[0], "MR time must grow with data size"
+    mr_abs_growth = mr_times[-1] - mr_times[0]
+    ya_abs_growth = ya_times[-1] - ya_times[0]
+    assert ya_abs_growth < 0.5 * mr_abs_growth, (
+        f"YAFIM must stay much flatter: grew {ya_abs_growth:.3f}s "
+        f"vs MR {mr_abs_growth:.3f}s"
+    )
+    # MR's direction of travel is up: most steps increase (measured task
+    # durations jitter between the independent dual runs, so per-step
+    # strict monotonicity is not asserted)
+    diffs = np.diff(mr_times)
+    assert (diffs > 0).sum() >= len(diffs) - 1, "at most one noisy down-step"

@@ -1,0 +1,50 @@
+"""Fig. 5(a-d) — node speedup, 4..12 nodes (32..96 cores).
+
+The paper fixes each dataset and varies the worker nodes from 4 to 12,
+showing YAFIM's time falling near-linearly with cores.  We replay the
+Fig. 3 measured runs (many map tasks per stage, thanks to small DFS
+blocks) on cluster models of growing size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import FIG3_WORKLOADS, write_report
+from repro.bench.harness import speedup_series
+from repro.bench.reporting import format_table, sparkline
+from repro.cluster import ClusterSpec
+
+NODE_COUNTS = [4, 6, 8, 10, 12]
+
+
+@pytest.mark.parametrize("name", sorted(FIG3_WORKLOADS))
+def test_fig5_speedup(benchmark, fig3_runs, name):
+    run = fig3_runs[name]
+    series = benchmark.pedantic(
+        lambda: speedup_series(run, ClusterSpec(), NODE_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    ya_times = [ya for _c, _m, ya in series]
+    rows = [
+        (cores, ya, ya_times[0] * 32 / cores, mr)
+        for (cores, mr, ya) in series
+    ]
+    table = format_table(
+        ["cores", "YAFIM (s)", "ideal-linear (s)", "MRApriori (s)"],
+        rows,
+        title=(
+            f"Fig. 5 [{name}] node speedup  "
+            f"(YAFIM: {sparkline(ya_times)})"
+        ),
+    )
+    write_report(f"fig5_{name}", table)
+
+    # --- shape assertions ---------------------------------------------------
+    # monotone: more nodes never slower
+    assert all(a >= b - 1e-9 for a, b in zip(ya_times, ya_times[1:]))
+    # near-linear scaling: 3x the cores buys a substantial fraction of 3x
+    scaling = ya_times[0] / ya_times[-1]
+    benchmark.extra_info["yafim_scaling_4to12_nodes"] = round(scaling, 2)
+    assert scaling > 1.6, f"expected near-linear node speedup, got {scaling:.2f}x"

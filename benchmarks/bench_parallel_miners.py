@@ -1,0 +1,71 @@
+"""Extension bench — the parallel-miner design space on one engine.
+
+The paper's related work spans three parallel FIM designs: level-wise
+Apriori (YAFIM), prefix-distributed Eclat (Dist-Eclat) and sharded
+pattern growth (PFP).  All three are implemented on this library's
+engine; this bench runs them on the same workloads and reports the
+trade-offs the literature describes: shuffle rounds vs candidate work vs
+local-memory pressure.  Outputs must be identical everywhere.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import write_report
+from repro.bench.reporting import format_table
+from repro.core import DistEclat, Yafim
+from repro.core.pfp import PFP
+from repro.datasets import medical_cases, mushroom_like, retail_like
+from repro.engine import Context
+
+WORKLOADS = {
+    "mushroom(dense)": (lambda: mushroom_like(scale=0.08, seed=7), 0.35),
+    "medical(bundled)": (lambda: medical_cases(n_cases=1500, seed=7), 0.05),
+    "retail(powerlaw)": (lambda: retail_like(n_transactions=2000, n_items=400, seed=7), 0.03),
+}
+
+
+def _run_all(make, sup):
+    ds = make()
+    out = {}
+    for label, factory in (
+        ("yafim", lambda c: Yafim(c, num_partitions=8)),
+        ("dist_eclat", lambda c: DistEclat(c, num_partitions=8)),
+        ("pfp", lambda c: PFP(c, n_groups=8, num_partitions=8)),
+    ):
+        with Context(backend="serial") as ctx:
+            t0 = time.perf_counter()
+            result = factory(ctx).run(ds.transactions, sup)
+            wall = time.perf_counter() - t0
+            shuffles = len(
+                {t.stage_id for t in ctx.event_log.tasks if t.kind == "shuffle_map"}
+            )
+        out[label] = (result, wall, shuffles)
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_parallel_miners(benchmark, name):
+    make, sup = WORKLOADS[name]
+    results = benchmark.pedantic(lambda: _run_all(make, sup), rounds=1, iterations=1)
+
+    reference = results["yafim"][0].itemsets
+    rows = []
+    for label, (result, wall, shuffles) in results.items():
+        assert result.itemsets == reference, f"{label} output differs"
+        rows.append((label, result.num_itemsets, len(result.iterations), shuffles, wall))
+    table = format_table(
+        ["miner", "itemsets", "phases", "shuffle rounds", "wall (s)"],
+        rows,
+        title=f"Parallel miners [{name}] sup={sup:g} — identical outputs",
+    )
+    write_report(f"parallel_miners_{name.split('(')[0]}", table)
+
+    # structural claims from the literature:
+    yafim_shuffles = results["yafim"][2]
+    assert results["dist_eclat"][2] == 1, "Dist-Eclat: single shuffle"
+    assert results["pfp"][2] == 2, "PFP: counting + sharding"
+    assert yafim_shuffles >= 3, "YAFIM: one shuffle per level"

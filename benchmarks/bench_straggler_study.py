@@ -1,0 +1,69 @@
+"""Extension bench — straggler sensitivity via the discrete-event replay.
+
+The cheap list-schedule replay assumes every task runs at its measured
+speed; real clusters see stragglers (slow disks, hot nodes) that stretch
+stage makespans disproportionately — the phenomenon speculative
+execution exists for.  This bench feeds YAFIM's *measured* task set into
+the event-driven simulator and sweeps the straggler rate, quantifying
+how much headroom the paper's near-linear speedup story has before
+stragglers erase it.
+"""
+
+from __future__ import annotations
+
+from conftest import write_report
+from repro.bench.reporting import format_table, sparkline
+from repro.cluster import PAPER_CLUSTER, SimTask, simulate_stage_events
+from repro.core import Yafim
+from repro.datasets import mushroom_like
+from repro.engine import Context
+
+RATES = [0.0, 0.05, 0.1, 0.2, 0.4]
+FACTOR = 5.0  # a straggling task runs 5x slower
+
+
+def _measured_tasks():
+    ds = mushroom_like(scale=0.12, seed=7)
+    with Context(backend="serial") as ctx:
+        Yafim(ctx, num_partitions=64).run(ds.transactions, 0.35)
+        return [
+            SimTask(duration_s=t.duration_s, input_bytes=t.input_bytes)
+            for t in ctx.event_log.tasks
+            if t.kind in ("shuffle_map", "result")
+        ]
+
+
+def test_straggler_study(benchmark):
+    tasks = benchmark.pedantic(_measured_tasks, rounds=1, iterations=1)
+    assert len(tasks) > 96, "need multiple scheduling waves for the study"
+
+    rows = []
+    baseline = None
+    for rate in RATES:
+        stats = simulate_stage_events(tasks, PAPER_CLUSTER, rate, FACTOR, seed=11)
+        if baseline is None:
+            baseline = stats.makespan_s
+        rows.append(
+            (
+                f"{rate:.0%}",
+                stats.straggled_tasks,
+                stats.makespan_s,
+                stats.makespan_s / baseline,
+                f"{stats.utilization:.0%}",
+            )
+        )
+    table = format_table(
+        ["straggler rate", "straggled tasks", "makespan (s)", "stretch", "utilization"],
+        rows,
+        title=(
+            "Straggler sensitivity [mushroom tasks on the paper cluster, 5x slowdown]  "
+            f"({sparkline([r[2] for r in rows])})"
+        ),
+    )
+    write_report("straggler_study", table)
+
+    stretches = [r[3] for r in rows]
+    benchmark.extra_info["stretch_at_40pct"] = round(stretches[-1], 2)
+    # more stragglers never help, and the curve genuinely moves
+    assert all(a <= b + 1e-9 for a, b in zip(stretches, stretches[1:]))
+    assert stretches[-1] > 1.5

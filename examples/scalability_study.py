@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's scalability methodology on one dataset.
+
+Runs the paired YAFIM/MRApriori measurement on a Chess-shaped dataset,
+then replays the measured tasks through the deterministic cluster model
+to produce the paper's Fig. 4 (sizeup at 48 cores) and Fig. 5 (node
+speedup, 4..12 nodes) curves.
+
+Two knobs matter at miniature scale (see DESIGN.md, design choice 6):
+small DFS blocks keep the task count high enough that the replay has
+parallelism to scale, and the modeled MapReduce overheads are scaled
+down alongside the dataset so the *growing* cost terms stay visible.
+
+Run:  python examples/scalability_study.py
+"""
+
+from repro.bench.harness import (
+    run_comparison,
+    sizeup_series,
+    speedup_series,
+)
+from repro.bench.reporting import format_table, sparkline
+from repro.cluster import ClusterSpec
+from repro.datasets import chess_like
+
+BASE = lambda: chess_like(scale=0.3, seed=3)  # noqa: E731
+SUP = 0.85
+BLOCK = 2 * 1024  # ~dozens of map tasks per stage
+
+# --- Fig. 4: sizeup at fixed 48 cores ------------------------------------
+print("Sizeup study: replicating the dataset 1..4x at a fixed 48 cores")
+spec48 = ClusterSpec(
+    nodes=6, cores_per_node=8, mr_job_startup_s=0.4, mr_task_overhead_s=0.05
+)
+series = sizeup_series(BASE, SUP, [1, 2, 3, 4], spec48, num_partitions=8,
+                       dfs_block_size=BLOCK)
+rows = [(f, mr, ya) for f, mr, ya in series]
+print(
+    format_table(
+        ["replication", "MRApriori (s)", "YAFIM (s)"],
+        rows,
+        title=f"  MR:    {sparkline([r[1] for r in rows])}\n"
+              f"  YAFIM: {sparkline([r[2] for r in rows])}",
+    )
+)
+
+# --- Fig. 5: node speedup -----------------------------------------------------
+print("\nSpeedup study: same run replayed on 4..12 nodes (8 cores each)")
+run = run_comparison(
+    chess_like(scale=1.0, seed=3), SUP, num_partitions=64, dfs_block_size=1024
+)
+series = speedup_series(run, ClusterSpec(), [4, 6, 8, 10, 12])
+rows = [(cores, ya, mr) for cores, mr, ya in series]
+print(
+    format_table(
+        ["cores", "YAFIM (s)", "MRApriori (s)"],
+        rows,
+        title=f"  YAFIM: {sparkline([r[1] for r in rows])}",
+    )
+)
+base_cores, base_ya = series[0][0], series[0][2]
+for cores, _mr, ya in series[1:]:
+    ideal = cores / base_cores
+    print(f"  {cores} cores: speedup {base_ya / ya:.2f}x (ideal {ideal:.2f}x)")

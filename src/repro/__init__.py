@@ -1,0 +1,45 @@
+"""repro — a full reproduction of *YAFIM: A Parallel Frequent Itemset Mining
+Algorithm with Spark* (Qiu, Gu, Yuan, Huang — IEEE IPDPSW 2014).
+
+The package is organised as the paper's system stack, built from scratch:
+
+- :mod:`repro.engine` — a mini-Spark: lazy RDDs, lineage, DAG stages,
+  shuffle, caching, broadcast variables, multiple executor backends.
+- :mod:`repro.hdfs` — a mini-DFS with real local-disk block storage.
+- :mod:`repro.mapreduce` — a Hadoop-style MapReduce runtime over the
+  mini-DFS (the substrate of the paper's MRApriori baseline).
+- :mod:`repro.cluster` — a deterministic cluster cost model used for the
+  paper's sizeup/speedup scalability experiments.
+- :mod:`repro.core` — YAFIM itself plus the MRApriori/SPC/FPC/DPC
+  baselines and association-rule post-processing.
+- :mod:`repro.algorithms` — single-node Apriori/Eclat/FP-Growth oracles.
+- :mod:`repro.datasets` — IBM Quest-style synthetic generator and
+  UCI-shaped dense dataset generators (MushRoom/Chess/Pumsb_star) plus a
+  medical-case generator.
+- :mod:`repro.bench` — the experiment harness that regenerates every
+  table and figure of the paper's evaluation section.
+
+Quickstart::
+
+    from repro import mine_frequent_itemsets
+    from repro.datasets import mushroom_like
+
+    ds = mushroom_like(seed=7)
+    result = mine_frequent_itemsets(ds.transactions, min_support=0.35)
+    print(result.num_itemsets, "frequent itemsets")
+"""
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` cheap and avoid import cycles while
+    # submodules are still being loaded.
+    if name in ("MiningResult", "mine_frequent_itemsets"):
+        from repro.core import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+__all__ = ["MiningResult", "__version__", "mine_frequent_itemsets"]

@@ -1,0 +1,22 @@
+"""Single-node reference miners (correctness oracles): Apriori, Eclat, FP-Growth."""
+
+from repro.algorithms.apriori import apriori, count_candidates, frequent_1_itemsets, generate_candidates
+from repro.algorithms.common import FrequentItemsets, by_level, max_level, normalize_transactions, support_threshold
+from repro.algorithms.eclat import eclat, vertical_layout
+from repro.algorithms.fpgrowth import FPTree, fpgrowth
+
+__all__ = [
+    "FPTree",
+    "FrequentItemsets",
+    "apriori",
+    "by_level",
+    "count_candidates",
+    "eclat",
+    "fpgrowth",
+    "frequent_1_itemsets",
+    "generate_candidates",
+    "max_level",
+    "normalize_transactions",
+    "support_threshold",
+    "vertical_layout",
+]

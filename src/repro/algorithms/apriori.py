@@ -1,0 +1,107 @@
+"""Sequential Apriori (Agrawal & Srikant 1994) — the correctness oracle.
+
+Straightforward level-wise implementation: dict-based support counting
+and per-transaction candidate checks.  Kept intentionally simple (no hash
+tree) so its results cross-check the optimized parallel implementations
+through a genuinely different code path.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+from itertools import combinations
+
+from repro.algorithms.common import (
+    FrequentItemsets,
+    normalize_transactions,
+    support_threshold,
+)
+from repro.common.itemset import Itemset
+
+
+def frequent_1_itemsets(transactions: list[Itemset], threshold: int) -> FrequentItemsets:
+    counts: dict = defaultdict(int)
+    for txn in transactions:
+        for item in txn:
+            counts[(item,)] += 1
+    return {iset: c for iset, c in counts.items() if c >= threshold}
+
+
+def generate_candidates(frequent_prev: FrequentItemsets) -> set[Itemset]:
+    """F(k-1) x F(k-1) join + downward-closure prune (independent of
+    :func:`repro.core.candidates.apriori_gen` by design)."""
+    prev = sorted(frequent_prev)
+    k_minus_1 = len(prev[0]) if prev else 0
+    prev_set = set(prev)
+    candidates: set[Itemset] = set()
+    for i, a in enumerate(prev):
+        for b in prev[i + 1 :]:
+            if a[:-1] != b[:-1]:
+                break  # sorted order: no further shared prefixes
+            cand = a + (b[-1],)
+            # prune: all (k-1)-subsets must be frequent
+            if all(sub in prev_set for sub in combinations(cand, k_minus_1)):
+                candidates.add(cand)
+    return candidates
+
+
+def count_candidates(
+    transactions: list[Itemset], candidates: set[Itemset]
+) -> dict[Itemset, int]:
+    """Count candidate occurrences by enumerating transaction subsets when
+    cheap, otherwise by scanning the candidate list."""
+    counts: dict = defaultdict(int)
+    if not candidates:
+        return counts
+    k = len(next(iter(candidates)))
+    for txn in transactions:
+        if len(txn) < k:
+            continue
+        # Enumerating C(len(txn), k) subsets beats scanning all candidates
+        # when transactions are short; otherwise do per-candidate checks.
+        txn_set = set(txn)
+        n_subsets = _n_choose_k(len(txn), k)
+        if n_subsets <= len(candidates) * 2:
+            for sub in combinations(txn, k):
+                if sub in candidates:
+                    counts[sub] += 1
+        else:
+            for cand in candidates:
+                if txn_set.issuperset(cand):
+                    counts[cand] += 1
+    return counts
+
+
+def _n_choose_k(n: int, k: int) -> int:
+    import math
+
+    if k > n:
+        return 0
+    return math.comb(n, k)
+
+
+def apriori(
+    transactions: Iterable[Sequence],
+    min_support: float,
+    max_length: int | None = None,
+) -> FrequentItemsets:
+    """All frequent itemsets with relative support >= ``min_support``.
+
+    Returns a dict mapping canonical itemsets (sorted tuples) to absolute
+    support counts.
+    """
+    txns = normalize_transactions(transactions)
+    threshold = support_threshold(txns, min_support)
+    frequent: FrequentItemsets = {}
+    level = frequent_1_itemsets(txns, threshold)
+    k = 1
+    while level:
+        frequent.update(level)
+        if max_length is not None and k >= max_length:
+            break
+        candidates = generate_candidates(level)
+        counts = count_candidates(txns, candidates)
+        level = {iset: c for iset, c in counts.items() if c >= threshold}
+        k += 1
+    return frequent

@@ -1,0 +1,40 @@
+"""Shared types and helpers for the single-node reference miners.
+
+These implementations are deliberately *independent* of
+:mod:`repro.core` (no shared candidate-generation or hash-tree code) so
+they can serve as unbiased correctness oracles for YAFIM and the
+MapReduce baselines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.common.errors import MiningError
+from repro.common.itemset import Itemset, canonical_transaction, min_support_count
+
+#: itemset -> absolute support count
+FrequentItemsets = dict
+
+
+def normalize_transactions(transactions: Iterable[Sequence]) -> list[Itemset]:
+    """Canonicalize raw transactions into sorted, de-duplicated tuples."""
+    return [canonical_transaction(t) for t in transactions]
+
+
+def support_threshold(transactions: list, min_support: float) -> int:
+    if not transactions:
+        raise MiningError("cannot mine an empty transaction database")
+    return min_support_count(min_support, len(transactions))
+
+
+def by_level(itemsets: FrequentItemsets) -> dict[int, FrequentItemsets]:
+    """Split an itemset->count map by itemset length."""
+    levels: dict[int, FrequentItemsets] = {}
+    for iset, count in itemsets.items():
+        levels.setdefault(len(iset), {})[iset] = count
+    return levels
+
+
+def max_level(itemsets: FrequentItemsets) -> int:
+    return max((len(i) for i in itemsets), default=0)

@@ -1,0 +1,56 @@
+"""Eclat (Zaki 2000): depth-first mining over vertical tid-sets.
+
+Included because the paper's related-work section positions Dist-Eclat /
+BigFIM against Apriori-family algorithms; here it doubles as a second
+independent oracle (different traversal order, different counting
+mechanism — set intersection instead of subset scans).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.algorithms.common import (
+    FrequentItemsets,
+    normalize_transactions,
+    support_threshold,
+)
+from repro.common.itemset import Item, Itemset
+
+
+def vertical_layout(transactions: list[Itemset]) -> dict[Item, frozenset]:
+    """item -> frozenset of transaction ids containing it."""
+    tidsets: dict[Item, set[int]] = {}
+    for tid, txn in enumerate(transactions):
+        for item in txn:
+            tidsets.setdefault(item, set()).add(tid)
+    return {item: frozenset(tids) for item, tids in tidsets.items()}
+
+
+def eclat(
+    transactions: Iterable[Sequence],
+    min_support: float,
+    max_length: int | None = None,
+) -> FrequentItemsets:
+    """All frequent itemsets via recursive tid-set intersection."""
+    txns = normalize_transactions(transactions)
+    threshold = support_threshold(txns, min_support)
+    tidsets = vertical_layout(txns)
+    frequent: FrequentItemsets = {}
+
+    items = sorted(i for i, tids in tidsets.items() if len(tids) >= threshold)
+
+    def extend(prefix: Itemset, prefix_tids: frozenset, tail: list) -> None:
+        for idx, (item, tids) in enumerate(tail):
+            new_tids = prefix_tids & tids if prefix else tids
+            if len(new_tids) < threshold:
+                continue
+            new_prefix = prefix + (item,)
+            frequent[new_prefix] = len(new_tids)
+            if max_length is not None and len(new_prefix) >= max_length:
+                continue
+            extend(new_prefix, new_tids, tail[idx + 1 :])
+
+    all_tids = frozenset(range(len(txns)))
+    extend((), all_tids, [(i, tidsets[i]) for i in items])
+    return frequent

@@ -1,0 +1,124 @@
+"""FP-Growth (Han, Pei & Yin 2000): pattern growth without candidates.
+
+Cited by the paper as the canonical candidate-free alternative; here a
+third independent oracle and the fast baseline for large/low-support
+runs.  Implements the classic FP-tree with header-table node links and
+recursive conditional-tree projection.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.algorithms.common import (
+    FrequentItemsets,
+    normalize_transactions,
+    support_threshold,
+)
+from repro.common.itemset import Item, Itemset
+
+
+@dataclass
+class FPNode:
+    item: Item | None
+    count: int = 0
+    parent: "FPNode | None" = None
+    children: dict = field(default_factory=dict)
+    link: "FPNode | None" = None  # next node holding the same item
+
+
+class FPTree:
+    """Prefix tree of transactions with items in frequency-descending order."""
+
+    def __init__(self):
+        self.root = FPNode(item=None)
+        self.header: dict[Item, FPNode] = {}
+        self._header_tail: dict[Item, FPNode] = {}
+
+    def insert(self, items: list[Item], count: int = 1) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item=item, parent=node)
+                node.children[item] = child
+                if item in self._header_tail:
+                    self._header_tail[item].link = child
+                else:
+                    self.header[item] = child
+                self._header_tail[item] = child
+            child.count += count
+            node = child
+
+    def nodes_for(self, item: Item):
+        node = self.header.get(item)
+        while node is not None:
+            yield node
+            node = node.link
+
+    def prefix_paths(self, item: Item) -> list[tuple[list[Item], int]]:
+        """Conditional-pattern base: (path items, count) per node of item."""
+        paths = []
+        for node in self.nodes_for(item):
+            path: list[Item] = []
+            parent = node.parent
+            while parent is not None and parent.item is not None:
+                path.append(parent.item)
+                parent = parent.parent
+            if path:
+                paths.append((list(reversed(path)), node.count))
+        return paths
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.root.children
+
+
+def _build_tree(
+    weighted_txns: Iterable[tuple[list[Item], int]], threshold: int
+) -> tuple[FPTree, dict[Item, int]]:
+    counts: dict[Item, int] = defaultdict(int)
+    materialized = [(list(items), c) for items, c in weighted_txns]
+    for items, c in materialized:
+        for item in items:
+            counts[item] += c
+    keep = {i: c for i, c in counts.items() if c >= threshold}
+    # Frequency-descending order with a deterministic tiebreak.
+    order = {i: rank for rank, i in enumerate(
+        sorted(keep, key=lambda i: (-keep[i], repr(i)))
+    )}
+    tree = FPTree()
+    for items, c in materialized:
+        filtered = sorted((i for i in items if i in keep), key=order.__getitem__)
+        if filtered:
+            tree.insert(filtered, c)
+    return tree, keep
+
+
+def fpgrowth(
+    transactions: Iterable[Sequence],
+    min_support: float,
+    max_length: int | None = None,
+) -> FrequentItemsets:
+    """All frequent itemsets via recursive FP-tree projection."""
+    txns = normalize_transactions(transactions)
+    threshold = support_threshold(txns, min_support)
+    frequent: FrequentItemsets = {}
+
+    def mine(tree: FPTree, item_counts: dict[Item, int], suffix: Itemset) -> None:
+        # Grow patterns item by item, least-frequent first (classic order).
+        for item in sorted(item_counts, key=lambda i: (item_counts[i], repr(i))):
+            support = item_counts[item]
+            pattern = tuple(sorted(suffix + (item,)))
+            frequent[pattern] = support
+            if max_length is not None and len(pattern) >= max_length:
+                continue
+            cond_tree, cond_counts = _build_tree(tree.prefix_paths(item), threshold)
+            if cond_counts:
+                mine(cond_tree, cond_counts, pattern)
+
+    tree, counts = _build_tree(((list(t), 1) for t in txns), threshold)
+    mine(tree, counts, ())
+    return frequent

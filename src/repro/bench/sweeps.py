@@ -1,0 +1,79 @@
+"""Parameter sweeps — support thresholds and partition counts.
+
+Complements :mod:`repro.bench.harness`'s dataset/cluster sweeps with the
+two remaining knobs an evaluator turns: the support threshold (the axis
+along which level-wise miners degrade) and the partition count (task
+granularity vs overhead).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.yafim import Yafim
+from repro.datasets.transactions import TransactionDataset
+from repro.engine.context import Context
+
+
+@dataclass
+class SweepPoint:
+    value: float
+    seconds: float
+    n_itemsets: int
+    n_passes: int
+
+
+def support_sweep(
+    dataset: TransactionDataset,
+    supports: list[float],
+    num_partitions: int = 4,
+    max_length: int | None = None,
+    yafim_kwargs: dict | None = None,
+) -> list[SweepPoint]:
+    """YAFIM runtime/output size across decreasing support thresholds.
+
+    Each point runs in a fresh context so cached state never leaks
+    between thresholds.
+    """
+    points = []
+    for sup in supports:
+        with Context(backend="serial") as ctx:
+            t0 = time.perf_counter()
+            result = Yafim(
+                ctx, num_partitions=num_partitions, **(yafim_kwargs or {})
+            ).run(dataset.transactions, sup, max_length=max_length)
+            points.append(
+                SweepPoint(
+                    value=sup,
+                    seconds=time.perf_counter() - t0,
+                    n_itemsets=result.num_itemsets,
+                    n_passes=len(result.iterations),
+                )
+            )
+    return points
+
+
+def partition_sweep(
+    dataset: TransactionDataset,
+    partition_counts: list[int],
+    min_support: float,
+    max_length: int | None = None,
+) -> list[SweepPoint]:
+    """YAFIM across partition counts (task granularity ablation)."""
+    points = []
+    for n in partition_counts:
+        with Context(backend="serial") as ctx:
+            t0 = time.perf_counter()
+            result = Yafim(ctx, num_partitions=n).run(
+                dataset.transactions, min_support, max_length=max_length
+            )
+            points.append(
+                SweepPoint(
+                    value=float(n),
+                    seconds=time.perf_counter() - t0,
+                    n_itemsets=result.num_itemsets,
+                    n_passes=len(result.iterations),
+                )
+            )
+    return points

@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``mine``
+    Mine frequent itemsets from a transaction file (one space-separated
+    transaction per line) or a built-in generated dataset.
+``generate``
+    Write a generated dataset to a ``.dat`` file.
+``compare``
+    Run the YAFIM-vs-MRApriori comparison on a generated dataset and
+    print the per-pass table (the paper's Fig. 3 view).
+
+Examples::
+
+    python -m repro generate --dataset mushroom --scale 0.1 --out m.dat
+    python -m repro mine --input m.dat --support 0.35 --algorithm yafim
+    python -m repro mine --dataset chess --support 0.85 --rules 0.9
+    python -m repro compare --dataset medical --support 0.03
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.errors import ReproError
+
+
+def _dataset_from_args(args) -> "object":
+    from repro.datasets import (
+        chess_like,
+        medical_cases,
+        mushroom_like,
+        pumsb_star_like,
+        t10i4d100k_like,
+    )
+
+    makers = {
+        "mushroom": lambda: mushroom_like(scale=args.scale, seed=args.seed),
+        "chess": lambda: chess_like(scale=args.scale, seed=args.seed),
+        "pumsb_star": lambda: pumsb_star_like(scale=args.scale, seed=args.seed),
+        "t10i4d100k": lambda: t10i4d100k_like(scale=args.scale, seed=args.seed),
+        "medical": lambda: medical_cases(
+            n_cases=max(200, int(5000 * args.scale)), seed=args.seed
+        ),
+    }
+    try:
+        return makers[args.dataset]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown dataset {args.dataset!r}; choose from {sorted(makers)}"
+        ) from None
+
+
+def _load_transactions(args) -> tuple[str, list]:
+    if args.input:
+        from repro.datasets import from_lines
+
+        with open(args.input) as f:
+            ds = from_lines(args.input, f)
+        return ds.name, ds.transactions
+    if args.dataset:
+        ds = _dataset_from_args(args)
+        return ds.name, ds.transactions
+    raise SystemExit("provide --input FILE or --dataset NAME")
+
+
+def cmd_mine(args) -> int:
+    from repro.core.api import mine_frequent_itemsets
+
+    name, txns = _load_transactions(args)
+    result = mine_frequent_itemsets(
+        txns,
+        args.support,
+        algorithm=args.algorithm,
+        max_length=args.max_length,
+        backend=args.backend,
+        parallelism=args.parallelism,
+    )
+    print(result.summary())
+    shown = sorted(result.itemsets.items(), key=lambda kv: (-kv[1], kv[0]))
+    for itemset, count in shown[: args.top]:
+        print(f"  {' '.join(map(str, itemset)):40s} {count}")
+    if len(shown) > args.top:
+        print(f"  ... and {len(shown) - args.top} more")
+    if args.rules is not None:
+        from repro.core.rules import generate_rules, top_rules
+
+        rules = generate_rules(
+            result.itemsets, result.n_transactions, min_confidence=args.rules
+        )
+        print(f"\n{len(rules)} rules at confidence >= {args.rules:g}:")
+        for rule in top_rules(rules, args.top):
+            print(f"  {rule}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    ds = _dataset_from_args(args)
+    with open(args.out, "w") as f:
+        for line in ds.to_lines():
+            f.write(line + "\n")
+    print(f"wrote {ds.n_transactions} transactions to {args.out}  ({ds.stats()})")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.bench.harness import replay_mr, replay_yafim, run_comparison
+    from repro.bench.reporting import format_table
+    from repro.cluster import PAPER_CLUSTER
+
+    ds = _dataset_from_args(args)
+    print(f"running YAFIM and MRApriori on {ds.name} at minsup={args.support:g} ...")
+    run = run_comparison(
+        ds, args.support, num_partitions=args.parallelism or 8,
+        max_length=args.max_length,
+    )
+    rows = [(k, mr, ya, x) for k, mr, ya, x in run.per_pass()]
+    print(format_table(["pass", "MRApriori (s)", "YAFIM (s)", "speedup"], rows))
+    mr_c = replay_mr(run.mrapriori, PAPER_CLUSTER)
+    ya_c = replay_yafim(run.yafim, PAPER_CLUSTER)
+    print(
+        f"outputs identical: {run.outputs_match}   "
+        f"measured speedup {run.total_speedup:.2f}x   "
+        f"paper-cluster replay {mr_c / ya_c:.1f}x"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="YAFIM reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--dataset", help="generated dataset name")
+        p.add_argument("--scale", type=float, default=0.05, help="dataset scale")
+        p.add_argument("--seed", type=int, default=0)
+
+    mine = sub.add_parser("mine", help="mine frequent itemsets")
+    common(mine)
+    mine.add_argument("--input", help="transaction file (one txn per line)")
+    mine.add_argument("--support", type=float, required=True)
+    mine.add_argument(
+        "--algorithm",
+        default="yafim",
+        choices=["yafim", "apriori", "eclat", "fpgrowth", "mrapriori", "dist_eclat", "pfp"],
+    )
+    mine.add_argument("--max-length", type=int, default=None)
+    mine.add_argument("--backend", default="threads")
+    mine.add_argument("--parallelism", type=int, default=None)
+    mine.add_argument("--top", type=int, default=15, help="itemsets/rules to print")
+    mine.add_argument(
+        "--rules", type=float, default=None, metavar="CONF",
+        help="also emit association rules at this confidence",
+    )
+    mine.set_defaults(func=cmd_mine)
+
+    gen = sub.add_parser("generate", help="write a generated dataset to a file")
+    common(gen)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(func=cmd_generate)
+
+    cmp_ = sub.add_parser("compare", help="YAFIM vs MRApriori per-pass comparison")
+    common(cmp_)
+    cmp_.add_argument("--support", type=float, required=True)
+    cmp_.add_argument("--max-length", type=int, default=None)
+    cmp_.add_argument("--parallelism", type=int, default=None)
+    cmp_.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""Deterministic cluster cost model for scalability replays (Figs. 4-5)."""
+
+from repro.cluster.events import EventStats, SimTask, simulate_stage_events, straggler_sensitivity
+from repro.cluster.model import PAPER_CLUSTER, ClusterSpec
+from repro.cluster.simulation import (
+    SimulatedRun,
+    SimulatedStage,
+    StageRecord,
+    list_schedule_makespan,
+    simulate_mr_job,
+    simulate_mr_run,
+    simulate_mr_stage,
+    simulate_spark_run,
+    simulate_spark_stage,
+    speedup_curve,
+)
+
+__all__ = [
+    "PAPER_CLUSTER",
+    "ClusterSpec",
+    "EventStats",
+    "SimTask",
+    "SimulatedRun",
+    "SimulatedStage",
+    "StageRecord",
+    "list_schedule_makespan",
+    "simulate_mr_job",
+    "simulate_mr_run",
+    "simulate_mr_stage",
+    "simulate_spark_run",
+    "simulate_spark_stage",
+    "simulate_stage_events",
+    "straggler_sensitivity",
+    "speedup_curve",
+]

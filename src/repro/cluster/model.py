@@ -1,0 +1,65 @@
+"""Cluster specification — the hardware model for scalability replays.
+
+Defaults mirror the paper's testbed: 12 nodes x 2 quad-core Xeons
+(= 8 cores/node, 96 cores total), gigabit Ethernet, a single SATA disk
+per node.  The MapReduce-specific overheads model Hadoop 1.x behaviour:
+a multi-second job submission/startup cost per iteration and a per-task
+JVM launch cost, both of which Spark avoids (long-lived executors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ClusterModelError
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster for deterministic replay.
+
+    Bandwidths are aggregate *per node*; aggregate cluster bandwidth scales
+    with ``nodes``, which is what makes HDFS-bound MapReduce iterations
+    shrink sub-linearly while CPU-bound stages shrink linearly.
+    """
+
+    nodes: int = 12
+    cores_per_node: int = 8
+    disk_read_mbps: float = 120.0
+    disk_write_mbps: float = 90.0
+    network_mbps: float = 110.0  # ~1 GbE effective payload rate
+    spark_task_overhead_s: float = 0.005
+    mr_task_overhead_s: float = 0.15
+    mr_job_startup_s: float = 4.0
+    hdfs_replication: int = 2
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.cores_per_node < 1:
+            raise ClusterModelError("nodes and cores_per_node must be >= 1")
+        for name in ("disk_read_mbps", "disk_write_mbps", "network_mbps"):
+            if getattr(self, name) <= 0:
+                raise ClusterModelError(f"{name} must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    def with_nodes(self, nodes: int) -> "ClusterSpec":
+        return replace(self, nodes=nodes)
+
+    # -- byte-cost helpers ---------------------------------------------------
+    def disk_read_seconds(self, nbytes: int) -> float:
+        """Cluster-aggregate time to read ``nbytes`` from local disks."""
+        return nbytes / (self.disk_read_mbps * 1e6 * self.nodes)
+
+    def disk_write_seconds(self, nbytes: int) -> float:
+        """Cluster-aggregate write time; HDFS replication multiplies bytes."""
+        return nbytes * self.hdfs_replication / (self.disk_write_mbps * 1e6 * self.nodes)
+
+    def network_seconds(self, nbytes: int) -> float:
+        """All-to-all transfer time, bounded by per-node NIC bandwidth."""
+        return nbytes / (self.network_mbps * 1e6 * self.nodes)
+
+
+#: The evaluation cluster from the paper (section V).
+PAPER_CLUSTER = ClusterSpec()

@@ -1,0 +1,62 @@
+"""Exception hierarchy shared across the reproduction packages.
+
+Every subsystem raises a subclass of :class:`ReproError` so that callers can
+catch reproduction-level failures without swallowing genuine programming
+errors (``TypeError`` and friends propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class EngineError(ReproError):
+    """Raised for failures inside the RDD engine (scheduling, shuffle...)."""
+
+
+class TaskFailedError(EngineError):
+    """A task failed more times than the configured retry budget allows."""
+
+    def __init__(self, task_desc: str, attempts: int, cause: BaseException | None = None):
+        super().__init__(f"task {task_desc} failed after {attempts} attempt(s): {cause!r}")
+        self.task_desc = task_desc
+        self.attempts = attempts
+        self.cause = cause
+
+
+class HdfsError(ReproError):
+    """Raised for mini-DFS failures (missing files, replication issues...)."""
+
+
+class FileNotFoundInDfs(HdfsError):
+    """The requested path does not exist in the mini-DFS namespace."""
+
+
+class FileAlreadyExists(HdfsError):
+    """Attempted to create a path that already exists (HDFS semantics)."""
+
+
+class BlockUnavailableError(HdfsError):
+    """No live replica of a required block could be located."""
+
+
+class MapReduceError(ReproError):
+    """Raised for failures in the MapReduce runtime."""
+
+
+class JobConfigError(MapReduceError):
+    """A job specification is inconsistent or incomplete."""
+
+
+class ClusterModelError(ReproError):
+    """Raised for invalid cluster-model configuration or replay inputs."""
+
+
+class DatasetError(ReproError):
+    """Raised for invalid dataset-generator parameters or malformed files."""
+
+
+class MiningError(ReproError):
+    """Raised for invalid mining parameters (e.g. out-of-range support)."""

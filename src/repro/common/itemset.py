@@ -1,0 +1,106 @@
+"""Canonical itemset representation and helpers.
+
+Throughout the library an *item* is a hashable, orderable value (in practice
+an ``int`` or ``str``) and an *itemset* is a ``tuple`` of items sorted in
+ascending order.  Sorted tuples give us:
+
+* hashability (usable as dict keys and RDD shuffle keys),
+* cheap lexicographic prefix comparison, which is exactly what the
+  Apriori ``F(k-1) x F(k-1)`` join step needs,
+* a stable, deterministic on-disk text encoding.
+
+All public mining APIs normalise inputs through :func:`canonical`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any, TypeVar
+
+Item = Any
+Itemset = tuple
+T = TypeVar("T")
+
+
+def canonical(items: Iterable[Item]) -> Itemset:
+    """Return the canonical (sorted, de-duplicated) tuple form of ``items``.
+
+    >>> canonical([3, 1, 2, 3])
+    (1, 2, 3)
+    """
+    return tuple(sorted(set(items)))
+
+
+def canonical_transaction(items: Iterable[Item]) -> Itemset:
+    """Normalise a raw transaction: de-duplicate and sort its items.
+
+    Identical to :func:`canonical`; named separately so call sites document
+    whether they are normalising a mined itemset or an input transaction.
+    """
+    return canonical(items)
+
+
+def is_canonical(itemset: Sequence[Item]) -> bool:
+    """True when ``itemset`` is strictly ascending (therefore duplicate-free)."""
+    return all(a < b for a, b in zip(itemset, itemset[1:]))
+
+
+def subsets_k_minus_1(itemset: Itemset) -> list[Itemset]:
+    """All (k-1)-subsets of a k-itemset, in deterministic order.
+
+    Used by the Apriori prune step: a candidate survives only when every
+    element of this list is frequent.
+
+    >>> subsets_k_minus_1((1, 2, 3))
+    [(2, 3), (1, 3), (1, 2)]
+    """
+    return [itemset[:i] + itemset[i + 1 :] for i in range(len(itemset))]
+
+
+def join_prefix(a: Itemset, b: Itemset) -> Itemset | None:
+    """Apriori join of two k-itemsets sharing a (k-1)-prefix.
+
+    Returns the joined (k+1)-itemset when ``a`` and ``b`` agree on their
+    first ``k-1`` items and ``a[-1] < b[-1]``; otherwise ``None``.
+    """
+    if a[:-1] == b[:-1] and a[-1] < b[-1]:
+        return a + (b[-1],)
+    return None
+
+
+def contains(transaction: Itemset, candidate: Itemset) -> bool:
+    """True when the sorted ``transaction`` contains every item of the
+    sorted ``candidate`` — a linear merge, O(len(transaction)).
+    """
+    it = iter(transaction)
+    for needle in candidate:
+        for have in it:
+            if have == needle:
+                break
+            if have > needle:
+                return False
+        else:
+            return False
+    return True
+
+
+def support_fraction(count: int, n_transactions: int) -> float:
+    """Convert an absolute support count to a relative support in [0, 1]."""
+    if n_transactions <= 0:
+        raise ValueError("n_transactions must be positive")
+    return count / n_transactions
+
+
+def min_support_count(min_support: float, n_transactions: int) -> int:
+    """Absolute support-count threshold for a relative ``min_support``.
+
+    The paper (and classic Apriori) treats an itemset as frequent when its
+    count is **at least** the threshold, so we round the product *up*: an
+    itemset with ``count >= min_support_count(...)`` has relative support
+    ``>= min_support`` up to floating-point dust.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError(f"min_support must be in (0, 1], got {min_support}")
+    import math
+
+    return max(1, math.ceil(min_support * n_transactions - 1e-9))

@@ -1,0 +1,59 @@
+"""The paper's contribution: YAFIM, its baselines, and post-processing."""
+
+from repro.core.api import MiningResult, mine_frequent_itemsets
+from repro.core.candidates import apriori_gen, join_step, prune_step
+from repro.core.dist_eclat import DistEclat
+from repro.core.hashtree import HashTree
+from repro.core.one_phase import OnePhaseMR
+from repro.core.pfp import PFP
+from repro.core.rapriori import RApriori
+from repro.core.toivonen import ToivonenResult, count_exact, toivonen
+from repro.core.topk import TopKResult, mine_top_k
+from repro.core.mrapriori import (
+    MRApriori,
+    dpc_strategy,
+    fpc_strategy,
+    spc_strategy,
+)
+from repro.core.results import IterationStats, MiningRunResult
+from repro.core.rules import AssociationRule, generate_rules, generate_rules_parallel, top_rules
+from repro.core.summaries import closed_itemsets, maximal_itemsets, negative_border, support_of
+from repro.core.variants import DPC, FPC, SPC
+from repro.core.yafim import Yafim, load_transactions_rdd
+
+__all__ = [
+    "DPC",
+    "FPC",
+    "SPC",
+    "AssociationRule",
+    "DistEclat",
+    "HashTree",
+    "IterationStats",
+    "MRApriori",
+    "MiningResult",
+    "PFP",
+    "RApriori",
+    "MiningRunResult",
+    "OnePhaseMR",
+    "ToivonenResult",
+    "TopKResult",
+    "Yafim",
+    "apriori_gen",
+    "dpc_strategy",
+    "fpc_strategy",
+    "closed_itemsets",
+    "count_exact",
+    "generate_rules",
+    "generate_rules_parallel",
+    "join_step",
+    "load_transactions_rdd",
+    "maximal_itemsets",
+    "mine_frequent_itemsets",
+    "mine_top_k",
+    "negative_border",
+    "prune_step",
+    "spc_strategy",
+    "support_of",
+    "toivonen",
+    "top_rules",
+]

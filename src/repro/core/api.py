@@ -1,0 +1,133 @@
+"""Unified mining API — one call, any engine.
+
+``mine_frequent_itemsets(transactions, min_support)`` runs YAFIM on an
+ephemeral engine context by default; ``algorithm=`` selects any of the
+other implementations (all return identical itemsets by construction —
+asserted by the integration tests):
+
+========== ==========================================================
+algorithm  implementation
+========== ==========================================================
+yafim      paper's algorithm on the RDD engine (default)
+dist_eclat prefix-distributed parallel Eclat on the same engine
+pfp        Parallel FP-Growth (Li et al.) on the same engine
+apriori    sequential oracle
+eclat      vertical tid-set oracle
+fpgrowth   pattern-growth oracle
+mrapriori  MapReduce baseline (spins up an ephemeral mini-DFS)
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+
+from repro.common.errors import MiningError
+from repro.core.results import IterationStats, MiningRunResult
+
+#: Result alias kept for the public API surface.
+MiningResult = MiningRunResult
+
+
+def mine_frequent_itemsets(
+    transactions: Iterable[Sequence],
+    min_support: float,
+    algorithm: str = "yafim",
+    max_length: int | None = None,
+    backend: str = "threads",
+    parallelism: int | None = None,
+    num_partitions: int | None = None,
+) -> MiningRunResult:
+    """Mine all frequent itemsets of ``transactions``.
+
+    Parameters
+    ----------
+    transactions:
+        Iterable of item sequences (items must be hashable + orderable).
+    min_support:
+        Relative minimum support in (0, 1].
+    algorithm:
+        ``"yafim"`` (default), ``"apriori"``, ``"eclat"``, ``"fpgrowth"``
+        or ``"mrapriori"``.
+    max_length:
+        Optional cap on mined itemset length.
+    backend / parallelism / num_partitions:
+        Engine knobs for the parallel algorithms.
+
+    Returns
+    -------
+    MiningRunResult
+        ``result.itemsets`` maps canonical itemsets to absolute support
+        counts; per-iteration stats ride along for the parallel miners.
+    """
+    txns = list(transactions)
+    if algorithm == "yafim":
+        from repro.core.yafim import Yafim
+        from repro.engine.context import Context
+
+        with Context(backend=backend, parallelism=parallelism) as ctx:
+            miner = Yafim(ctx, num_partitions=num_partitions)
+            return miner.run(txns, min_support, max_length=max_length)
+
+    if algorithm == "dist_eclat":
+        from repro.core.dist_eclat import DistEclat
+        from repro.engine.context import Context
+
+        with Context(backend=backend, parallelism=parallelism) as ctx:
+            miner = DistEclat(ctx, num_partitions=num_partitions)
+            return miner.run(txns, min_support, max_length=max_length)
+
+    if algorithm == "pfp":
+        from repro.core.pfp import PFP
+        from repro.engine.context import Context
+
+        with Context(backend=backend, parallelism=parallelism) as ctx:
+            miner = PFP(ctx, num_partitions=num_partitions)
+            return miner.run(txns, min_support, max_length=max_length)
+
+    if algorithm == "mrapriori":
+        from repro.core.mrapriori import MRApriori
+        from repro.hdfs.filesystem import MiniDfs
+        from repro.mapreduce.runner import JobRunner
+
+        with MiniDfs(n_datanodes=2, replication=1) as dfs:
+            dfs.write_lines(
+                "/transactions.txt",
+                (" ".join(str(i) for i in sorted(set(t))) for t in txns),
+            )
+            runner = JobRunner(
+                dfs,
+                backend="threads" if backend == "threads" else "serial",
+                parallelism=parallelism or 4,
+            )
+            result = MRApriori(runner).run(
+                "/transactions.txt", min_support, max_length=max_length
+            )
+            # Items round-tripped through text; restore original types when
+            # they were plain ints.
+            if txns and all(isinstance(i, int) for t in txns for i in t):
+                result.itemsets = {
+                    tuple(sorted(int(i) for i in k)): v for k, v in result.itemsets.items()
+                }
+            return result
+
+    if algorithm in ("apriori", "eclat", "fpgrowth"):
+        import repro.algorithms as alg
+
+        fn = {"apriori": alg.apriori, "eclat": alg.eclat, "fpgrowth": alg.fpgrowth}[algorithm]
+        t0 = time.perf_counter()
+        itemsets = fn(txns, min_support, max_length=max_length)
+        seconds = time.perf_counter() - t0
+        result = MiningRunResult(
+            algorithm=algorithm, min_support=min_support, n_transactions=len(txns)
+        )
+        result.itemsets = itemsets
+        result.iterations = [
+            IterationStats(
+                k=0, seconds=seconds, n_candidates=-1, n_frequent=len(itemsets)
+            )
+        ]
+        return result
+
+    raise MiningError(f"unknown algorithm {algorithm!r}")

@@ -1,0 +1,71 @@
+"""Candidate generation — ``apriori_gen`` (paper Algorithm 1, line 5).
+
+Join step: every pair of frequent (k-1)-itemsets sharing their first k-2
+items (``a[-1] < b[-1]``) joins into a k-candidate.  Prune step: drop any
+candidate with an infrequent (k-1)-subset (downward closure).  Sorted
+canonical tuples make the join a linear scan over a sorted list grouped
+by prefix.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.common.itemset import Itemset, subsets_k_minus_1
+
+
+def join_step(frequent_prev: Iterable[Itemset]) -> list[Itemset]:
+    """All k-itemsets joinable from sorted (k-1)-itemsets (no pruning)."""
+    prev = sorted(frequent_prev)
+    joined: list[Itemset] = []
+    i = 0
+    n = len(prev)
+    while i < n:
+        # group [i, j) shares the (k-2)-prefix
+        prefix = prev[i][:-1]
+        j = i
+        while j < n and prev[j][:-1] == prefix:
+            j += 1
+        group = prev[i:j]
+        for x in range(len(group)):
+            ax = group[x]
+            for y in range(x + 1, len(group)):
+                joined.append(ax + (group[y][-1],))
+        i = j
+    return joined
+
+
+def prune_step(
+    candidates: Iterable[Itemset], frequent_prev: set[Itemset]
+) -> list[Itemset]:
+    """Keep only candidates whose every (k-1)-subset is frequent."""
+    out = []
+    for cand in candidates:
+        if all(sub in frequent_prev for sub in subsets_k_minus_1(cand)):
+            out.append(cand)
+    return out
+
+
+def apriori_gen(frequent_prev: Iterable[Itemset]) -> list[Itemset]:
+    """Join + prune: candidate k-itemsets from frequent (k-1)-itemsets.
+
+    Accepts any iterable of canonical (sorted-tuple) itemsets of a single
+    length k-1; returns sorted candidate k-itemsets.
+
+    >>> apriori_gen([(1, 2), (1, 3), (2, 3)])
+    [(1, 2, 3)]
+    >>> apriori_gen([(1, 2), (1, 3), (2, 4)])
+    []
+    """
+    prev_list = list(frequent_prev)
+    if not prev_list:
+        return []
+    lengths = {len(p) for p in prev_list}
+    if len(lengths) != 1:
+        raise ValueError(f"mixed itemset lengths in apriori_gen input: {lengths}")
+    if lengths == {1}:
+        # k=2: every pair of frequent items (prune is vacuous).
+        items = sorted(p[0] for p in prev_list)
+        return [(items[i], items[j]) for i in range(len(items)) for j in range(i + 1, len(items))]
+    prev_set = set(prev_list)
+    return sorted(prune_step(join_step(prev_list), prev_set))

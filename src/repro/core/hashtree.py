@@ -1,0 +1,177 @@
+"""Hash tree for candidate itemsets (paper §IV-A, Fig. 2).
+
+The classic Apriori data structure (Agrawal & Srikant 1994): candidates of
+length k are stored in a tree whose interior nodes hash the item at the
+current depth into a fixed fan-out, splitting leaves that overflow.
+``subset(transaction)`` walks the tree enumerating exactly the candidates
+contained in the transaction — the ``C_t = subset(C_k, t)`` step of
+Algorithm 1/3 — in time far below a linear scan of all candidates.
+
+The tree is built once per iteration on the driver and shipped to workers
+through a broadcast variable (§IV-C).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.common.itemset import Itemset
+from repro.common.rng import stable_hash
+
+
+class _Node:
+    __slots__ = ("children", "bucket", "is_leaf")
+
+    def __init__(self) -> None:
+        self.children: dict[int, _Node] | None = None
+        self.bucket: list[Itemset] = []
+        self.is_leaf = True
+
+
+class HashTree:
+    """Hash tree over canonical k-itemsets.
+
+    Parameters
+    ----------
+    candidates:
+        Iterable of same-length sorted tuples.
+    fanout:
+        Interior-node hash width.  Wider trees prune better under the
+        slot-set walk (default 64; profiling on the dense datasets showed
+        8 degenerates to a near-full scan).
+    max_leaf_size:
+        Leaf bucket capacity before splitting (leaves at depth >= k never
+        split — all their candidates share the full hashed prefix).
+    """
+
+    def __init__(self, candidates: Iterable[Itemset] = (), fanout: int = 64, max_leaf_size: int = 16):
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        if max_leaf_size < 1:
+            raise ValueError("max_leaf_size must be >= 1")
+        self.fanout = fanout
+        self.max_leaf_size = max_leaf_size
+        self.k: int | None = None
+        self.size = 0
+        self._root = _Node()
+        for cand in candidates:
+            self.insert(cand)
+
+    # -- construction -------------------------------------------------------
+    def _hash(self, item) -> int:
+        if isinstance(item, int):
+            return item % self.fanout  # cheap + well-spread for int items
+        return stable_hash(item) % self.fanout
+
+    def insert(self, candidate: Itemset) -> None:
+        candidate = tuple(candidate)
+        if self.k is None:
+            if not candidate:
+                raise ValueError("cannot insert the empty itemset")
+            self.k = len(candidate)
+        elif len(candidate) != self.k:
+            raise ValueError(
+                f"hash tree holds {self.k}-itemsets, got length {len(candidate)}"
+            )
+        node = self._root
+        depth = 0
+        while not node.is_leaf:
+            node = node.children.setdefault(self._hash(candidate[depth]), _Node())
+            depth += 1
+        node.bucket.append(candidate)
+        self.size += 1
+        if len(node.bucket) > self.max_leaf_size and depth < self.k:
+            self._split(node, depth)
+
+    def _split(self, node: _Node, depth: int) -> None:
+        node.is_leaf = False
+        node.children = {}
+        for cand in node.bucket:
+            child = node.children.setdefault(self._hash(cand[depth]), _Node())
+            child.bucket.append(cand)
+        node.bucket = []
+        # recursively split oversized children (identical hashed prefixes)
+        for child in node.children.values():
+            if len(child.bucket) > self.max_leaf_size and depth + 1 < self.k:
+                self._split(child, depth + 1)
+
+    # -- queries ----------------------------------------------------------
+    def subset(self, transaction: Sequence) -> list[Itemset]:
+        """Candidates contained in the ``transaction``.
+
+        Hash-tree walk with slot-set pruning: a subtree under slot ``s`` at
+        any depth can only hold matching candidates when some transaction
+        item hashes to ``s``, so the walk descends exactly into the slots
+        covered by the transaction's items.  Every candidate lives in one
+        leaf and every node is visited at most once, so matches are unique
+        by construction; leaves do the authoritative containment check
+        against the transaction's item set.
+
+        (The classic formulation also threads item *positions* through the
+        walk; profiling showed the per-call recursion cost in Python far
+        outweighs that extra pruning, while the slot-set walk visits at
+        most one node per tree node — see DESIGN.md.)
+        """
+        if self.k is None or len(transaction) < self.k:
+            return []
+        txn_set = frozenset(transaction)
+        slots = {self._hash(i) for i in txn_set}
+        out: list[Itemset] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for cand in node.bucket:
+                    if txn_set.issuperset(cand):
+                        out.append(cand)
+            else:
+                for slot, child in node.children.items():
+                    if slot in slots:
+                        stack.append(child)
+        return out
+
+    def contains_candidate(self, candidate: Itemset) -> bool:
+        node = self._root
+        depth = 0
+        while not node.is_leaf:
+            child = node.children.get(self._hash(candidate[depth]))
+            if child is None:
+                return False
+            node = child
+            depth += 1
+        return tuple(candidate) in node.bucket
+
+    def __iter__(self) -> Iterator[Itemset]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.bucket
+            else:
+                stack.extend(node.children.values())
+
+    def __len__(self) -> int:
+        return self.size
+
+    # -- diagnostics ---------------------------------------------------------
+    def stats(self) -> dict:
+        """Structure statistics (used by the hash-tree ablation)."""
+        leaves = depth_total = max_depth = 0
+        biggest_leaf = 0
+        stack = [(self._root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if node.is_leaf:
+                leaves += 1
+                depth_total += depth
+                max_depth = max(max_depth, depth)
+                biggest_leaf = max(biggest_leaf, len(node.bucket))
+            else:
+                stack.extend((c, depth + 1) for c in node.children.values())
+        return {
+            "candidates": self.size,
+            "leaves": leaves,
+            "max_depth": max_depth,
+            "mean_leaf_depth": depth_total / leaves if leaves else 0.0,
+            "largest_leaf": biggest_leaf,
+        }

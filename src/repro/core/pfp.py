@@ -1,0 +1,166 @@
+"""PFP — Parallel FP-Growth on the RDD engine (Li et al., RecSys 2008).
+
+The paper positions Apriori-family algorithms against pattern-growth
+ones (FP-Growth is its reference [9]); PFP is the canonical parallel
+pattern-growth design and what Spark's own MLlib later shipped.  It
+completes this library's coverage of the parallel-FIM design space:
+
+===================  =========================  =======================
+                     YAFIM (paper)              PFP (this module)
+===================  =========================  =======================
+traversal            breadth-first, level-wise  depth-first projections
+synchronisation      one shuffle per level      two shuffles total
+candidate explosion  yes (hash tree contains)   none
+===================  =========================  =======================
+
+Algorithm (following the original paper's 5 steps):
+
+1. **Parallel counting** — one ``flatMap -> reduceByKey`` pass yields the
+   frequent items (F-list), exactly YAFIM's Phase I.
+2. **Grouping** — frequent items are assigned to ``n_groups`` gid buckets
+   (round-robin over the frequency-sorted F-list, balancing the heavy
+   head items across groups).
+3. **Group-dependent sharding** — each transaction is filtered/sorted to
+   its frequent items; for every suffix position whose item belongs to
+   group *g*, the prefix up to that position is emitted keyed by *g*.
+   The shuffle delivers every group its complete conditional database.
+4. **Local FP-Growth** — each group's shard is mined with the sequential
+   FP-Growth oracle, restricted to patterns whose *last* (least
+   frequent) item belongs to the group — so no pattern is produced
+   twice across groups.
+5. **Aggregation** — union of per-group results (no further reduction
+   needed because step 4's ownership rule makes outputs disjoint).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+
+from repro.common.errors import MiningError
+from repro.common.itemset import canonical_transaction, min_support_count
+from repro.core.results import IterationStats, MiningRunResult
+from repro.engine.context import Context
+
+
+class PFP:
+    """Parallel FP-Growth bound to an engine context.
+
+    Parameters
+    ----------
+    ctx:
+        Engine context (any backend).
+    n_groups:
+        Number of gid buckets (step 2).  More groups = smaller local
+        FP-trees but more shard duplication; defaults to the context
+        parallelism.
+    """
+
+    def __init__(self, ctx: Context, n_groups: int | None = None, num_partitions: int | None = None):
+        self.ctx = ctx
+        self.n_groups = n_groups or ctx.default_parallelism
+        self.num_partitions = num_partitions or ctx.default_parallelism
+
+    def run(
+        self,
+        transactions: Iterable[Sequence],
+        min_support: float,
+        max_length: int | None = None,
+    ) -> MiningRunResult:
+        if not 0.0 < min_support <= 1.0:
+            raise MiningError(f"min_support must be in (0, 1], got {min_support}")
+        txns = [canonical_transaction(t) for t in transactions]
+        if not txns:
+            raise MiningError("cannot mine an empty transaction database")
+        n = len(txns)
+        threshold = min_support_count(min_support, n)
+        result = MiningRunResult(algorithm="pfp", min_support=min_support, n_transactions=n)
+
+        rdd = self.ctx.parallelize(txns, self.num_partitions).cache()
+
+        # ---- step 1: parallel counting (= YAFIM Phase I) -----------------
+        t0 = time.perf_counter()
+        item_counts = dict(
+            rdd.flat_map(lambda t: t)
+            .map(lambda item: (item, 1))
+            .reduce_by_key(lambda a, b: a + b, self.num_partitions)
+            .filter(lambda kv: kv[1] >= threshold)
+            .collect()
+        )
+        result.itemsets.update({(item,): c for item, c in item_counts.items()})
+        result.iterations.append(
+            IterationStats(
+                k=1,
+                seconds=time.perf_counter() - t0,
+                n_candidates=-1,
+                n_frequent=len(item_counts),
+            )
+        )
+        if not item_counts or (max_length is not None and max_length <= 1):
+            return result
+
+        # ---- step 2: grouping --------------------------------------------
+        t0 = time.perf_counter()
+        # frequency-descending F-list with deterministic tiebreak; item
+        # rank doubles as the FP order used inside every shard
+        f_list = sorted(item_counts, key=lambda i: (-item_counts[i], repr(i)))
+        rank = {item: r for r, item in enumerate(f_list)}
+        n_groups = min(self.n_groups, len(f_list))
+        group_of = {item: r % n_groups for r, item in enumerate(f_list)}
+        bc = self.ctx.broadcast((rank, group_of))
+
+        # ---- step 3: group-dependent sharding -----------------------------
+        def shard(partition, _bc=bc):
+            rank_map, groups = _bc.value
+            for txn in partition:
+                kept = sorted(
+                    (i for i in txn if i in rank_map), key=rank_map.__getitem__
+                )
+                emitted = set()
+                # walk suffix-first so each group gets the longest prefix
+                for pos in range(len(kept) - 1, -1, -1):
+                    gid = groups[kept[pos]]
+                    if gid not in emitted:
+                        emitted.add(gid)
+                        yield gid, tuple(kept[: pos + 1])
+
+        # ---- step 4: local FP-Growth per group -----------------------------
+        def mine_group(kv, _bc=bc, _thr=threshold, _max=max_length):
+            from repro.algorithms.fpgrowth import fpgrowth
+
+            rank_map, groups = _bc.value
+            gid, shard_txns = kv
+            # a pattern's shard count equals its global support (every
+            # transaction containing a group-g item ships g its longest
+            # relevant prefix), so mine at the GLOBAL absolute threshold,
+            # expressed relative to this shard's size
+            local = fpgrowth(
+                list(shard_txns), _thr / len(shard_txns), max_length=_max
+            )
+            out = []
+            for pattern, count in local.items():
+                if len(pattern) < 2:
+                    continue  # singletons already counted in step 1
+                last = max(pattern, key=rank_map.__getitem__)
+                if groups[last] == gid:  # ownership rule: no duplicates
+                    out.append((pattern, count))
+            return out
+
+        mined = (
+            rdd.map_partitions(shard)
+            .group_by_key(num_partitions=n_groups)
+            .flat_map(mine_group)
+            .collect()
+        )
+        bc.destroy()
+        result.itemsets.update(dict(mined))
+        result.iterations.append(
+            IterationStats(
+                k=2,  # one sharded pattern-growth phase covers levels >= 2
+                seconds=time.perf_counter() - t0,
+                n_candidates=n_groups,
+                n_frequent=len(mined),
+            )
+        )
+        rdd.unpersist()
+        return result

@@ -1,0 +1,77 @@
+"""Result types shared by every parallel miner.
+
+Both runtimes return a :class:`MiningRunResult` carrying the mined
+itemsets **and** the measured per-iteration facts (wall time, candidate
+counts, byte counters, replay records) that the evaluation harness plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.simulation import StageRecord
+from repro.common.itemset import Itemset
+
+
+@dataclass
+class IterationStats:
+    """Measured facts about one Apriori level (pass k)."""
+
+    k: int
+    seconds: float
+    n_candidates: int
+    n_frequent: int
+    # replay inputs: one StageRecord per stage executed during this level
+    stage_records: list[StageRecord] = field(default_factory=list)
+    broadcast_bytes: int = 0  # driver -> per-node candidate shipping
+    closure_bytes: int = 0  # candidate bytes shipped per task when not broadcast
+    hdfs_read_bytes: int = 0
+    hdfs_write_bytes: int = 0
+    shuffle_bytes: int = 0
+
+
+@dataclass
+class MiningRunResult:
+    """Frequent itemsets plus the per-iteration measurement trail."""
+
+    algorithm: str
+    min_support: float
+    n_transactions: int
+    itemsets: dict = field(default_factory=dict)  # Itemset -> count
+    iterations: list[IterationStats] = field(default_factory=list)
+
+    @property
+    def num_itemsets(self) -> int:
+        return len(self.itemsets)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(it.seconds for it in self.iterations)
+
+    @property
+    def max_level(self) -> int:
+        return max((len(i) for i in self.itemsets), default=0)
+
+    def level(self, k: int) -> dict:
+        return {i: c for i, c in self.itemsets.items() if len(i) == k}
+
+    def per_iteration_seconds(self) -> list[tuple[int, float]]:
+        return [(it.k, it.seconds) for it in self.iterations]
+
+    def support(self, itemset: Itemset) -> float:
+        """Relative support of a mined itemset (0.0 when not frequent)."""
+        count = self.itemsets.get(tuple(sorted(itemset)), 0)
+        return count / self.n_transactions if self.n_transactions else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.algorithm}: {self.num_itemsets} frequent itemsets "
+            f"(minsup={self.min_support:g}, |D|={self.n_transactions}, "
+            f"max level={self.max_level}, {self.total_seconds:.3f}s)"
+        ]
+        for it in self.iterations:
+            lines.append(
+                f"  pass {it.k}: {it.seconds:.4f}s  "
+                f"candidates={it.n_candidates}  frequent={it.n_frequent}"
+            )
+        return "\n".join(lines)

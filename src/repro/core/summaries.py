@@ -1,0 +1,124 @@
+"""Condensed representations of a frequent-itemset family.
+
+Standard FIM post-processing, complementing :mod:`repro.core.rules`:
+
+* **maximal** frequent itemsets — no frequent superset exists; the
+  smallest family from which frequency (but not supports) of every
+  frequent itemset can be recovered.
+* **closed** frequent itemsets — no superset has the *same* support; the
+  smallest family from which every frequent itemset's exact support can
+  be recovered.
+* the **negative border** — the minimal infrequent candidates, i.e.
+  itemsets whose every proper subset is frequent but which are not
+  themselves frequent.  This is exactly the set Apriori counted and
+  rejected in its final pass over each level, and its size measures the
+  level-wise algorithm's wasted counting work (reported by the bench
+  harness).
+
+All functions take the ``{itemset: support_count}`` map produced by any
+miner in this library (downward-closed by construction).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.common.errors import MiningError
+from repro.common.itemset import Itemset
+
+
+def _validate(itemsets: dict) -> None:
+    if not isinstance(itemsets, dict):
+        raise MiningError("itemsets must be a {itemset: count} mapping")
+
+
+def maximal_itemsets(itemsets: dict) -> dict:
+    """Frequent itemsets with no frequent proper superset.
+
+    O(n * k) with a per-level index: an itemset is maximal unless some
+    frequent (k+1)-itemset contains it.
+    """
+    _validate(itemsets)
+    by_len: dict[int, list[Itemset]] = {}
+    for iset in itemsets:
+        by_len.setdefault(len(iset), []).append(iset)
+    out = {}
+    for k, level in by_len.items():
+        supersets = by_len.get(k + 1, [])
+        # a k-itemset has a frequent superset iff it is a (k)-subset of
+        # some frequent (k+1)-itemset: index those subsets once
+        covered = set()
+        for sup_set in supersets:
+            for sub in combinations(sup_set, k):
+                covered.add(sub)
+        for iset in level:
+            if iset not in covered:
+                out[iset] = itemsets[iset]
+    return out
+
+
+def closed_itemsets(itemsets: dict) -> dict:
+    """Frequent itemsets whose every frequent superset has lower support."""
+    _validate(itemsets)
+    by_len: dict[int, list[Itemset]] = {}
+    for iset in itemsets:
+        by_len.setdefault(len(iset), []).append(iset)
+    out = {}
+    for k, level in by_len.items():
+        # map k-subset -> max support among its frequent (k+1)-supersets
+        best_super: dict[Itemset, int] = {}
+        for sup_set in by_len.get(k + 1, []):
+            count = itemsets[sup_set]
+            for sub in combinations(sup_set, k):
+                if count > best_super.get(sub, -1):
+                    best_super[sub] = count
+        for iset in level:
+            if best_super.get(iset, -1) < itemsets[iset]:
+                out[iset] = itemsets[iset]
+    return out
+
+
+def negative_border(itemsets: dict, items: list | None = None) -> list[Itemset]:
+    """Minimal infrequent itemsets over the given item universe.
+
+    ``items`` defaults to the frequent 1-itemsets' items (the classic
+    definition: anything containing an infrequent item is subsumed by
+    that item's singleton already being in the border when ``items``
+    covers the full universe).
+    """
+    _validate(itemsets)
+    frequent = set(itemsets)
+    if items is not None:
+        universe = sorted(set(items))
+    else:
+        universe = sorted({iset[0] for iset in frequent if len(iset) == 1})
+    border: list[Itemset] = []
+    # singletons of the universe that are not frequent
+    for item in universe:
+        if (item,) not in frequent:
+            border.append((item,))
+    # level k >= 2: candidates from frequent (k-1)-sets, minus frequent ones
+    from repro.core.candidates import apriori_gen
+
+    by_len: dict[int, list[Itemset]] = {}
+    for iset in frequent:
+        by_len.setdefault(len(iset), []).append(iset)
+    for k in sorted(by_len):
+        candidates = apriori_gen(by_len[k])
+        border.extend(c for c in candidates if c not in frequent)
+    return sorted(border)
+
+
+def support_of(itemset: Itemset, closed: dict) -> int:
+    """Recover an itemset's support from the closed family.
+
+    The support of any frequent itemset equals the maximum support among
+    closed supersets; returns 0 when no closed superset exists (itemset
+    not frequent).
+    """
+    target = set(itemset)
+    best = 0
+    for ciset, count in closed.items():
+        if target <= set(ciset) and count > best:
+            best = count
+    return best

@@ -1,0 +1,59 @@
+"""SPC / FPC / DPC — the Lin et al. (ICUIMC'12) MapReduce Apriori variants.
+
+All three share the :class:`~repro.core.mrapriori.MRApriori` driver and
+differ only in how many candidate levels each MapReduce job counts:
+
+* **SPC** (Single Pass Counting) — one level per job; identical to
+  MRApriori/PApriori and the paper's baseline.
+* **FPC** (Fixed Passes Combined-counting) — always combines a fixed
+  number of levels per job, trading extra speculative candidates for
+  fewer job startups.
+* **DPC** (Dynamic Passes Combined-counting) — combines levels while a
+  projected candidate budget holds.
+"""
+
+from __future__ import annotations
+
+from repro.core.mrapriori import (
+    MRApriori,
+    dpc_strategy,
+    fpc_strategy,
+    spc_strategy,
+)
+from repro.mapreduce.runner import JobRunner
+
+
+class SPC(MRApriori):
+    """Single Pass Counting — one MapReduce job per Apriori level."""
+
+    algorithm_name = "spc"
+
+    def __init__(self, runner: JobRunner, **kwargs):
+        kwargs.setdefault("work_dir", "/spc")
+        super().__init__(runner, combine_strategy=spc_strategy, **kwargs)
+
+
+class FPC(MRApriori):
+    """Fixed Passes Combined-counting — ``passes`` levels per job."""
+
+    algorithm_name = "fpc"
+
+    def __init__(self, runner: JobRunner, passes: int = 3, **kwargs):
+        if passes < 1:
+            raise ValueError("passes must be >= 1")
+        kwargs.setdefault("work_dir", "/fpc")
+        super().__init__(runner, combine_strategy=fpc_strategy(passes), **kwargs)
+        self.passes = passes
+
+
+class DPC(MRApriori):
+    """Dynamic Passes Combined-counting — budget-driven level combining."""
+
+    algorithm_name = "dpc"
+
+    def __init__(self, runner: JobRunner, candidate_budget: int = 50_000, **kwargs):
+        if candidate_budget < 1:
+            raise ValueError("candidate_budget must be >= 1")
+        kwargs.setdefault("work_dir", "/dpc")
+        super().__init__(runner, combine_strategy=dpc_strategy(candidate_budget), **kwargs)
+        self.candidate_budget = candidate_budget

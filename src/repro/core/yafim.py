@@ -1,0 +1,304 @@
+"""YAFIM — the paper's algorithm, on the RDD engine (paper §IV).
+
+Phase I (Algorithm 2, Fig. 1)::
+
+    input file --flatMap(getTransaction)--> Transactions (cached RDD)
+               --flatMap(getItems)--> Items
+               --map(item => (item, 1))--> pairs
+               --reduceByKey(_ + _), filter >= minsup--> L1
+
+Phase II (Algorithm 3, Fig. 2), for k = 2, 3, ... until L_k is empty::
+
+    C_k  = apriori_gen(L_{k-1})            (driver)
+    tree = HashTree(C_k); broadcast(tree)  (§IV-A / §IV-C)
+    L_k  = Transactions.flatMap(t => tree.subset(t))
+                       .map(c => (c, 1))
+                       .reduceByKey(_ + _)
+                       .filter(count >= minsup)
+
+The transaction RDD is loaded once and cached (§IV-B); every iteration
+re-scans it from cluster memory.  Three design choices are independently
+switchable for the ablation benchmarks: ``use_hash_tree``,
+``use_broadcast`` and ``cache_transactions``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+
+from repro.cluster.simulation import StageRecord
+from repro.common.errors import MiningError
+from repro.common.itemset import canonical_transaction, contains, min_support_count
+from repro.core.candidates import apriori_gen
+from repro.core.hashtree import HashTree
+from repro.core.results import IterationStats, MiningRunResult
+from repro.engine.context import Context
+from repro.engine.rdd import RDD
+
+
+def load_transactions_rdd(ctx: Context, dfs, path: str, sep: str | None = None) -> RDD:
+    """Paper Phase I entry: text file -> RDD of canonical transactions."""
+    return ctx.text_file(dfs, path).map(
+        lambda line: canonical_transaction(line.split(sep))
+    ).filter(lambda t: len(t) > 0)
+
+
+class Yafim:
+    """Configured YAFIM miner bound to an engine :class:`Context`.
+
+    Parameters
+    ----------
+    ctx:
+        Engine context (any backend).
+    num_partitions:
+        Partitions for the transaction RDD and shuffles (default: the
+        context's parallelism).
+    use_hash_tree:
+        Store candidates in a hash tree (paper behaviour).  ``False``
+        degrades to a flat candidate list scan (ablation A3).
+    use_broadcast:
+        Ship candidates via a broadcast variable (paper behaviour).
+        ``False`` captures them in every task closure (ablation A1).
+    cache_transactions:
+        Cache the transaction RDD in memory (paper behaviour).  ``False``
+        recomputes/re-reads it every iteration (ablation A2).
+    hash_tree_fanout / hash_tree_leaf_size:
+        Hash-tree shape knobs.
+    """
+
+    def __init__(
+        self,
+        ctx: Context,
+        num_partitions: int | None = None,
+        use_hash_tree: bool = True,
+        use_broadcast: bool = True,
+        cache_transactions: bool = True,
+        hash_tree_fanout: int = 64,
+        hash_tree_leaf_size: int = 16,
+        clear_shuffles_between_iterations: bool = True,
+    ):
+        self.ctx = ctx
+        self.num_partitions = num_partitions or ctx.default_parallelism
+        self.use_hash_tree = use_hash_tree
+        self.use_broadcast = use_broadcast
+        self.cache_transactions = cache_transactions
+        self.hash_tree_fanout = hash_tree_fanout
+        self.hash_tree_leaf_size = hash_tree_leaf_size
+        self.clear_shuffles = clear_shuffles_between_iterations
+
+    # -- public entry points -------------------------------------------------
+    def run(
+        self,
+        transactions: Iterable[Sequence],
+        min_support: float,
+        max_length: int | None = None,
+    ) -> MiningRunResult:
+        """Mine an in-memory collection of transactions."""
+        rdd = self.ctx.parallelize(
+            [canonical_transaction(t) for t in transactions], self.num_partitions
+        )
+        return self.run_rdd(rdd, min_support, max_length=max_length)
+
+    def run_text_file(
+        self,
+        dfs,
+        path: str,
+        min_support: float,
+        sep: str | None = None,
+        max_length: int | None = None,
+    ) -> MiningRunResult:
+        """Mine a transaction file stored in the mini-DFS (paper setup)."""
+        return self.run_rdd(
+            load_transactions_rdd(self.ctx, dfs, path, sep),
+            min_support,
+            max_length=max_length,
+        )
+
+    # -- the algorithm ---------------------------------------------------------
+    def run_rdd(
+        self,
+        transactions: RDD,
+        min_support: float,
+        max_length: int | None = None,
+    ) -> MiningRunResult:
+        if not 0.0 < min_support <= 1.0:
+            raise MiningError(f"min_support must be in (0, 1], got {min_support}")
+        result = MiningRunResult(algorithm="yafim", min_support=min_support, n_transactions=0)
+
+        if self.cache_transactions:
+            transactions = transactions.cache()
+
+        # ---- Phase I: frequent 1-itemsets -------------------------------
+        t0 = time.perf_counter()
+        mark = self.ctx.event_log.mark()
+        n = transactions.count()  # materializes the cache
+        if n == 0:
+            raise MiningError("cannot mine an empty transaction database")
+        threshold = min_support_count(min_support, n)
+        level = (
+            transactions.flat_map(lambda t: t)
+            .map(lambda item: (item, 1))
+            .reduce_by_key(lambda a, b: a + b, self.num_partitions)
+            .filter(lambda kv: kv[1] >= threshold)
+            .map(lambda kv: ((kv[0],), kv[1]))
+            .collect_as_map()
+        )
+        result.n_transactions = n
+        result.iterations.append(
+            self._iteration_stats(
+                k=1,
+                seconds=time.perf_counter() - t0,
+                n_candidates=-1,  # pass 1 counts raw items, no candidate set
+                n_frequent=len(level),
+                mark=mark,
+                broadcast_bytes=0,
+            )
+        )
+        result.itemsets.update(level)
+        if self.clear_shuffles:
+            self.ctx.clear_shuffle_outputs()
+
+        # ---- Phase II: iterate k-frequent -> (k+1)-frequent ---------------
+        k = 2
+        while level and (max_length is None or k <= max_length):
+            t0 = time.perf_counter()
+            mark = self.ctx.event_log.mark()
+            candidates = apriori_gen(level.keys())
+            if not candidates:
+                break
+            matcher = self._build_matcher(candidates)
+            bc = self.ctx.broadcast(matcher) if self.use_broadcast else None
+            bc_bytes = bc.size_bytes if bc is not None else 0
+            closure_bytes = 0
+
+            if bc is not None:
+                find = _BroadcastSubsetFinder(bc)
+            else:
+                find = _ClosureSubsetFinder(matcher)
+                # Spark's default behaviour ships the closure (candidates
+                # included) with EVERY task — charge it per map task so the
+                # broadcast ablation can quantify the saving (§IV-C).
+                from repro.common.sizeof import estimate_size
+
+                closure_bytes = estimate_size(matcher) * transactions.num_partitions
+
+            level = (
+                transactions.map_partitions(find)
+                .map(lambda cand: (cand, 1))
+                .reduce_by_key(lambda a, b: a + b, self.num_partitions)
+                .filter(lambda kv: kv[1] >= threshold)
+                .collect_as_map()
+            )
+            result.itemsets.update(level)
+            result.iterations.append(
+                self._iteration_stats(
+                    k=k,
+                    seconds=time.perf_counter() - t0,
+                    n_candidates=len(candidates),
+                    n_frequent=len(level),
+                    mark=mark,
+                    broadcast_bytes=bc_bytes,
+                    closure_bytes=closure_bytes,
+                )
+            )
+            if bc is not None:
+                bc.destroy()
+            if self.clear_shuffles:
+                self.ctx.clear_shuffle_outputs()
+            k += 1
+        return result
+
+    # -- helpers ---------------------------------------------------------------
+    def _build_matcher(self, candidates: list):
+        if self.use_hash_tree:
+            return HashTree(
+                candidates,
+                fanout=self.hash_tree_fanout,
+                max_leaf_size=self.hash_tree_leaf_size,
+            )
+        return _LinearMatcher(candidates)
+
+    def _iteration_stats(
+        self, k: int, seconds: float, n_candidates: int, n_frequent: int,
+        mark: int, broadcast_bytes: int, closure_bytes: int = 0,
+    ) -> IterationStats:
+        """Fold this iteration's engine tasks into replayable stage records."""
+        tasks = self.ctx.event_log.tasks_since(mark)
+        by_stage: dict[int, list] = {}
+        for t in tasks:
+            by_stage.setdefault(t.stage_id, []).append(t)
+        records = []
+        shuffle_total = 0
+        for stage_id in sorted(by_stage):
+            ts = by_stage[stage_id]
+            write = sum(t.shuffle_write_bytes for t in ts)
+            records.append(
+                StageRecord(
+                    label=f"pass{k}/stage{stage_id}",
+                    task_durations=[t.duration_s for t in ts],
+                    input_bytes=sum(t.input_bytes for t in ts),
+                    shuffle_bytes=write,
+                )
+            )
+            shuffle_total += write
+        return IterationStats(
+            k=k,
+            seconds=seconds,
+            n_candidates=n_candidates,
+            n_frequent=n_frequent,
+            stage_records=records,
+            broadcast_bytes=broadcast_bytes,
+            closure_bytes=closure_bytes,
+            hdfs_read_bytes=sum(t.input_bytes for t in tasks),
+            shuffle_bytes=shuffle_total,
+        )
+
+
+class _LinearMatcher:
+    """Flat candidate list with the same ``subset`` interface as HashTree.
+
+    Used by ablation A3 to quantify the hash tree's benefit.
+    """
+
+    def __init__(self, candidates: list):
+        self.candidates = list(candidates)
+
+    def subset(self, transaction) -> list:
+        txn = tuple(transaction)
+        return [c for c in self.candidates if contains(txn, c)]
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+
+class _BroadcastSubsetFinder:
+    """Per-partition candidate matcher resolving a broadcast variable.
+
+    The broadcast value is resolved once per partition (as Spark
+    deserializes a broadcast once per task), then applied to every
+    transaction in the partition.
+    """
+
+    def __init__(self, bc):
+        self._bc = bc
+
+    def __call__(self, transactions):
+        matcher = self._bc.value
+        for txn in transactions:
+            yield from matcher.subset(txn)
+
+
+class _ClosureSubsetFinder:
+    """Per-partition matcher carried directly in the task closure.
+
+    Mimics Spark's default task-closure shipping: the cluster replay
+    charges the candidate bytes once per *task* instead of once per node.
+    """
+
+    def __init__(self, matcher):
+        self._matcher = matcher
+
+    def __call__(self, transactions):
+        for txn in transactions:
+            yield from self._matcher.subset(txn)

@@ -1,0 +1,50 @@
+"""Dataset generators: IBM Quest synthetic, UCI-shaped dense sets, medical cases."""
+
+from repro.datasets.ibm_quest import quest_generator, t10i4d100k_like
+from repro.datasets.io import (
+    append_transactions,
+    dataset_from_dfs,
+    dataset_to_dfs,
+    read_dat,
+    write_dat,
+)
+from repro.datasets.retail import retail_like
+from repro.datasets.medical import Condition, default_conditions, medical_cases
+from repro.datasets.transactions import (
+    PAPER_TABLE_1,
+    DatasetStats,
+    PaperShape,
+    TransactionDataset,
+    from_lines,
+)
+from repro.datasets.uci_like import (
+    AttributeSpec,
+    chess_like,
+    dense_dataset,
+    mushroom_like,
+    pumsb_star_like,
+)
+
+__all__ = [
+    "PAPER_TABLE_1",
+    "AttributeSpec",
+    "Condition",
+    "DatasetStats",
+    "PaperShape",
+    "TransactionDataset",
+    "append_transactions",
+    "chess_like",
+    "default_conditions",
+    "dataset_from_dfs",
+    "dataset_to_dfs",
+    "dense_dataset",
+    "from_lines",
+    "medical_cases",
+    "mushroom_like",
+    "pumsb_star_like",
+    "quest_generator",
+    "read_dat",
+    "retail_like",
+    "t10i4d100k_like",
+    "write_dat",
+]

@@ -1,0 +1,65 @@
+"""Dataset file I/O — the FIMI ``.dat`` convention plus gzip support.
+
+One transaction per line, items separated by single spaces.  This is the
+format of the FIMI repository files the paper mines (and of IBM's
+generator output), so datasets round-trip between this library, the
+mini-DFS, and external FIM tools.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+from collections.abc import Iterable
+
+from repro.common.errors import DatasetError
+from repro.datasets.transactions import TransactionDataset, from_lines
+
+
+def _opener(path: str, mode: str):
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def write_dat(dataset: TransactionDataset, path: str) -> int:
+    """Write a dataset as a ``.dat`` (or ``.dat.gz``) file; returns bytes."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with _opener(path, "w") as f:
+        for line in dataset.to_lines():
+            f.write(line + "\n")
+    return os.path.getsize(path)
+
+
+def read_dat(path: str, name: str | None = None) -> TransactionDataset:
+    """Read a ``.dat`` (or ``.dat.gz``) transaction file."""
+    if not os.path.exists(path):
+        raise DatasetError(f"no such dataset file: {path}")
+    with _opener(path, "r") as f:
+        return from_lines(name or os.path.basename(path), f)
+
+
+def append_transactions(path: str, transactions: Iterable) -> int:
+    """Append transactions to an existing ``.dat`` file; returns count.
+
+    Gzip files cannot be appended to (members would need re-compression).
+    """
+    if path.endswith(".gz"):
+        raise DatasetError("cannot append to a gzip dataset")
+    n = 0
+    with open(path, "a", encoding="utf-8") as f:
+        for txn in transactions:
+            f.write(" ".join(str(i) for i in sorted(set(txn))) + "\n")
+            n += 1
+    return n
+
+
+def dataset_to_dfs(dataset: TransactionDataset, dfs, path: str) -> None:
+    """Alias of :meth:`TransactionDataset.write_to_dfs` for symmetry."""
+    dataset.write_to_dfs(dfs, path)
+
+
+def dataset_from_dfs(dfs, path: str, name: str | None = None) -> TransactionDataset:
+    """Read a transaction file back out of the mini-DFS."""
+    return from_lines(name or path, dfs.read_lines(path))

@@ -1,0 +1,119 @@
+"""Transaction dataset container and statistics.
+
+Every generator returns a :class:`TransactionDataset`; the container
+carries the generated transactions, the generator's parameters, and the
+paper-reported shape of the dataset it emulates (Table I), so the Table I
+benchmark can print generated-vs-paper columns side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import DatasetError
+from repro.common.itemset import Itemset, canonical_transaction
+
+
+@dataclass(frozen=True)
+class PaperShape:
+    """The row of Table I this dataset emulates."""
+
+    name: str
+    n_items: int
+    n_transactions: int
+    min_support: float  # the support the paper mined it at
+
+
+#: Table I of the paper, verbatim.
+PAPER_TABLE_1: dict[str, PaperShape] = {
+    "mushroom": PaperShape("MushRoom", 119, 8_124, 0.35),
+    "t10i4d100k": PaperShape("T10I4D100K", 870, 100_000, 0.0025),
+    "chess": PaperShape("Chess", 75, 3_196, 0.85),
+    "pumsb_star": PaperShape("Pumsb_star", 2_088, 49_046, 0.65),
+}
+
+
+@dataclass
+class DatasetStats:
+    n_transactions: int
+    n_distinct_items: int
+    avg_transaction_length: float
+    max_transaction_length: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.n_transactions} txns, {self.n_distinct_items} items, "
+            f"avg len {self.avg_transaction_length:.1f}"
+        )
+
+
+@dataclass
+class TransactionDataset:
+    """A generated transactional database."""
+
+    name: str
+    transactions: list[Itemset]
+    params: dict = field(default_factory=dict)
+    paper_shape: PaperShape | None = None
+
+    def __post_init__(self) -> None:
+        if not self.transactions:
+            raise DatasetError(f"dataset {self.name!r} has no transactions")
+
+    @property
+    def n_transactions(self) -> int:
+        return len(self.transactions)
+
+    def stats(self) -> DatasetStats:
+        lengths = [len(t) for t in self.transactions]
+        distinct = {i for t in self.transactions for i in t}
+        return DatasetStats(
+            n_transactions=len(self.transactions),
+            n_distinct_items=len(distinct),
+            avg_transaction_length=sum(lengths) / len(lengths),
+            max_transaction_length=max(lengths),
+        )
+
+    # -- serialization ------------------------------------------------------
+    def to_lines(self) -> list[str]:
+        """Space-separated item lines — the FIMI ``.dat`` convention."""
+        return [" ".join(str(i) for i in t) for t in self.transactions]
+
+    def write_to_dfs(self, dfs, path: str) -> None:
+        dfs.write_lines(path, self.to_lines())
+
+    # -- manipulation ---------------------------------------------------------
+    def replicated(self, times: int) -> "TransactionDataset":
+        """Paper Fig. 4 sizeup: the dataset repeated ``times`` times.
+
+        Replication multiplies every support count by ``times`` while
+        keeping relative supports identical, so the frequent-itemset family
+        is unchanged — only the data volume grows.
+        """
+        if times < 1:
+            raise DatasetError("replication factor must be >= 1")
+        return TransactionDataset(
+            name=f"{self.name}x{times}",
+            transactions=self.transactions * times,
+            params={**self.params, "replicated": times},
+            paper_shape=self.paper_shape,
+        )
+
+    def subset(self, n: int) -> "TransactionDataset":
+        """First ``n`` transactions (for quick tests)."""
+        if not 1 <= n <= len(self.transactions):
+            raise DatasetError(f"subset size {n} out of range")
+        return TransactionDataset(
+            name=f"{self.name}[:{n}]",
+            transactions=self.transactions[:n],
+            params=dict(self.params),
+            paper_shape=self.paper_shape,
+        )
+
+
+def from_lines(name: str, lines, sep: str | None = None) -> TransactionDataset:
+    """Parse a FIMI-style ``.dat`` line iterable into a dataset."""
+    txns = [canonical_transaction(line.split(sep)) for line in lines if line.strip()]
+    if not txns:
+        raise DatasetError(f"no transactions parsed for {name!r}")
+    return TransactionDataset(name=name, transactions=txns)

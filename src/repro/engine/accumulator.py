@@ -1,0 +1,94 @@
+"""Accumulators — write-only shared variables folded on the driver.
+
+Tasks accumulate into a task-local buffer (so failed attempts do not
+double-count); the scheduler merges each *successful* task's deltas into
+the driver-side value, matching Spark's at-least-once-per-successful-task
+semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+_acc_ids = itertools.count()
+
+
+class AccumulatorParam(Generic[T]):
+    """How accumulator values combine."""
+
+    def __init__(self, zero: Callable[[], T], add: Callable[[T, T], T]):
+        self.zero = zero
+        self.add = add
+
+
+INT_PARAM = AccumulatorParam(zero=lambda: 0, add=lambda a, b: a + b)
+FLOAT_PARAM = AccumulatorParam(zero=lambda: 0.0, add=lambda a, b: a + b)
+LIST_PARAM = AccumulatorParam(zero=list, add=lambda a, b: a + b)
+
+
+class Accumulator(Generic[T]):
+    def __init__(self, initial: T, param: AccumulatorParam[T] | None = None):
+        self.id = next(_acc_ids)
+        self.param = param or INT_PARAM
+        self._value = initial
+        self._lock = threading.Lock()
+
+    def add(self, delta: T) -> None:
+        """Add ``delta``.
+
+        Inside a running task this writes to the task-local buffer; on the
+        driver it updates the global value directly.
+        """
+        from repro.engine.task import current_task_context
+
+        ctx = current_task_context()
+        if ctx is not None:
+            ctx.accumulate(self, delta)
+        else:
+            with self._lock:
+                self._value = self.param.add(self._value, delta)
+
+    def merge_delta(self, delta: T) -> None:
+        """Driver-side merge of a completed task's buffered delta."""
+        with self._lock:
+            self._value = self.param.add(self._value, delta)
+
+    @property
+    def value(self) -> T:
+        return self._value
+
+    # -- pickling (process backend): locks stay behind; a worker-side copy
+    # only ever contributes through the task-context delta buffer keyed by
+    # ``id``, so losing driver state is safe.
+    def __getstate__(self):
+        return {"id": self.id, "param": self.param, "_value": self._value}
+
+    def __setstate__(self, state):
+        self.id = state["id"]
+        self.param = state["param"]
+        self._value = state["_value"]
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        return f"Accumulator(id={self.id}, value={self._value!r})"
+
+
+class AccumulatorRegistry:
+    """Driver-side id -> accumulator map used when merging task results."""
+
+    def __init__(self):
+        self._by_id: dict[int, Accumulator] = {}
+
+    def register(self, acc: Accumulator) -> Accumulator:
+        self._by_id[acc.id] = acc
+        return acc
+
+    def merge_all(self, deltas: dict[int, Any]) -> None:
+        for acc_id, delta in deltas.items():
+            acc = self._by_id.get(acc_id)
+            if acc is not None:
+                acc.merge_delta(delta)

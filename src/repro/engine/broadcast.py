@@ -1,0 +1,100 @@
+"""Broadcast variables.
+
+The paper (§IV-C) leans on Spark's broadcast abstraction to ship the
+candidate hash tree to each worker *once per node per iteration* instead of
+once per task.  Here a :class:`Broadcast` wraps a value registered with the
+driver-side :class:`BroadcastManager`; executors resolve it through a
+per-worker cache, and the manager counts one logical transfer per worker —
+the quantity the cluster cost model charges to the network.
+
+Pickling a Broadcast (for the process-pool backend) carries the value with
+it; the worker-side cache de-duplicates by broadcast id so repeated tasks on
+the same worker do not count as repeated transfers, mirroring Torrent
+broadcast's per-executor caching.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Generic, TypeVar
+
+from repro.common.sizeof import estimate_size
+
+T = TypeVar("T")
+
+
+class Broadcast(Generic[T]):
+    """Read-only shared variable; access the payload through ``.value``."""
+
+    def __init__(self, bc_id: int, value: T, manager: "BroadcastManager | None"):
+        self.id = bc_id
+        self._value = value
+        self._manager = manager
+        self.size_bytes = estimate_size(value)
+
+    @property
+    def value(self) -> T:
+        if self._manager is not None:
+            self._manager.record_access(self)
+        return self._value
+
+    def destroy(self) -> None:
+        """Release the value (driver side)."""
+        self._value = None  # type: ignore[assignment]
+        if self._manager is not None:
+            self._manager.unregister(self)
+
+    # -- pickling: the manager stays on the driver -------------------------
+    def __getstate__(self):
+        return {"id": self.id, "_value": self._value, "size_bytes": self.size_bytes}
+
+    def __setstate__(self, state):
+        self.id = state["id"]
+        self._value = state["_value"]
+        self.size_bytes = state["size_bytes"]
+        self._manager = None
+
+    def __repr__(self) -> str:
+        return f"Broadcast(id={self.id}, ~{self.size_bytes}B)"
+
+
+class BroadcastManager:
+    """Driver-side registry + transfer accounting.
+
+    ``record_access`` is called on every ``.value`` read with the current
+    worker id (from the executing task's context, when any); the first
+    access per (broadcast, worker) counts as one network transfer of
+    ``size_bytes`` — all later accesses are cache hits.
+    """
+
+    def __init__(self):
+        self._counter = itertools.count()
+        self._live: dict[int, Broadcast] = {}
+        self._seen: set[tuple[int, str]] = set()
+        self._lock = threading.Lock()
+        self.transfers = 0
+        self.transfer_bytes = 0
+
+    def new_broadcast(self, value: Any) -> Broadcast:
+        bc = Broadcast(next(self._counter), value, self)
+        self._live[bc.id] = bc
+        return bc
+
+    def record_access(self, bc: Broadcast) -> None:
+        from repro.engine.task import current_worker_id
+
+        worker = current_worker_id()
+        with self._lock:
+            key = (bc.id, worker)
+            if key not in self._seen:
+                self._seen.add(key)
+                self.transfers += 1
+                self.transfer_bytes += bc.size_bytes
+
+    def unregister(self, bc: Broadcast) -> None:
+        self._live.pop(bc.id, None)
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)

@@ -1,0 +1,148 @@
+"""Context — the engine's entry point (Spark's ``SparkContext``).
+
+Owns every driver-side service: block manager, shuffle manager, broadcast
+manager, accumulator registry, event log, fault injector, executor and DAG
+scheduler.  Create one per application::
+
+    with Context(backend="threads", parallelism=4) as ctx:
+        rdd = ctx.parallelize(range(100), 4).map(lambda x: x * x)
+        print(rdd.sum())
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable
+
+from repro.engine.accumulator import (
+    FLOAT_PARAM,
+    INT_PARAM,
+    Accumulator,
+    AccumulatorParam,
+    AccumulatorRegistry,
+)
+from repro.engine.broadcast import Broadcast, BroadcastManager
+from repro.engine.dag import DAGScheduler
+from repro.engine.executors import make_executor
+from repro.engine.faults import FaultInjector
+from repro.engine.metrics import EventLog
+from repro.engine.rdd import RDD, ParallelCollectionRDD, TextFileRDD
+from repro.engine.shuffle import ShuffleManager
+from repro.engine.storage import BlockManager, StorageLevel
+
+
+class Context:
+    """Driver context.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` (deterministic, used by benchmarks), ``"threads"``
+        (default; concurrent I/O) or ``"processes"`` (true CPU parallelism
+        via cloudpickled tasks).
+    parallelism:
+        Worker count for the chosen backend.
+    memory_limit_bytes:
+        Block-manager budget; ``None`` = unbounded.
+    max_task_failures:
+        Retry budget per task before the job is failed.
+    """
+
+    def __init__(
+        self,
+        backend: str = "threads",
+        parallelism: int | None = None,
+        memory_limit_bytes: int | None = None,
+        max_task_failures: int = 4,
+    ):
+        self.executor = make_executor(backend, parallelism)
+        self.backend = backend
+        self.block_manager = BlockManager(memory_limit_bytes)
+        self.shuffle_manager = ShuffleManager()
+        self.broadcast_manager = BroadcastManager()
+        self.accumulators = AccumulatorRegistry()
+        self.event_log = EventLog()
+        self.fault_injector = FaultInjector()
+        self.scheduler = DAGScheduler(self, max_task_failures=max_task_failures)
+        self.default_parallelism = max(2, self.executor.parallelism)
+        self._rdd_ids = itertools.count()
+        self._rdd_levels: dict[int, Any] = {}
+        self._stopped = False
+
+    # -- RDD creation -------------------------------------------------------
+    def parallelize(self, data: Iterable, num_slices: int | None = None) -> RDD:
+        """Distribute a driver-side collection into an RDD."""
+        self._check_alive()
+        slices = self.default_parallelism if num_slices is None else num_slices
+        return ParallelCollectionRDD(self, data, slices)
+
+    def text_file(self, dfs, path: str) -> RDD:
+        """Lines of a mini-DFS file; one partition per block-aligned split."""
+        self._check_alive()
+        return TextFileRDD(self, dfs, path)
+
+    def empty_rdd(self) -> RDD:
+        return ParallelCollectionRDD(self, [], 1)
+
+    # -- shared variables -----------------------------------------------------
+    def broadcast(self, value: Any) -> Broadcast:
+        """Ship ``value`` to every worker once (§IV-C of the paper)."""
+        self._check_alive()
+        return self.broadcast_manager.new_broadcast(value)
+
+    def accumulator(self, initial: Any = 0, param: AccumulatorParam | None = None) -> Accumulator:
+        self._check_alive()
+        if param is None:
+            param = FLOAT_PARAM if isinstance(initial, float) else INT_PARAM
+        return self.accumulators.register(Accumulator(initial, param))
+
+    # -- execution ---------------------------------------------------------
+    def run_job(self, rdd: RDD, func, partitions: list[int] | None = None) -> list:
+        """Run ``func(task_ctx, iterator)`` over the given partitions."""
+        self._check_alive()
+        # Remember storage levels so worker-computed cache-backs can be
+        # stored at the right level even though the worker-side RDD object
+        # is a pickled copy.
+        self._snapshot_levels(rdd)
+        return self.scheduler.run_job(rdd, func, partitions)
+
+    def _snapshot_levels(self, rdd: RDD, seen: set[int] | None = None) -> None:
+        seen = seen if seen is not None else set()
+        if rdd.id in seen:
+            return
+        seen.add(rdd.id)
+        if rdd.storage_level is not None:
+            self._rdd_levels[rdd.id] = rdd.storage_level
+        for dep in rdd.dependencies:
+            self._snapshot_levels(dep.rdd, seen)
+
+    def _storage_level_of(self, rdd_id: int) -> StorageLevel | None:
+        return self._rdd_levels.get(rdd_id)
+
+    # -- housekeeping ------------------------------------------------------
+    def clear_shuffle_outputs(self) -> None:
+        """Drop all retained map outputs (iterative jobs call this between
+        iterations to bound driver memory)."""
+        self.shuffle_manager.clear()
+        self.scheduler._shuffle_stages.clear()
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        self.executor.shutdown()
+        self.block_manager.close()
+        self.shuffle_manager.clear()
+
+    def _check_alive(self) -> None:
+        if self._stopped:
+            raise RuntimeError("Context is stopped")
+
+    def _next_rdd_id(self) -> int:
+        return next(self._rdd_ids)
+
+    def __enter__(self) -> "Context":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,232 @@
+"""DAG scheduler: lineage -> stages -> tasks -> results.
+
+The algorithm is Spark's: walk the action RDD's lineage, cut it at every
+:class:`ShuffleDependency` into :class:`ShuffleMapStage`s, run parents
+before children, and finish with a :class:`ResultStage` that applies the
+action function to each requested partition.  Shuffle stages whose map
+outputs are already registered are skipped (map-output reuse across jobs),
+which is what lets an iterative algorithm reuse the previous iteration's
+work.  Failed task attempts are retried up to ``max_task_failures``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.common.errors import TaskFailedError
+from repro.engine.dependencies import ShuffleDependency
+from repro.engine.metrics import JobSummary, TaskMetrics
+from repro.engine.stage import ResultStage, ShuffleMapStage, Stage, Task, TaskResult
+from repro.engine.storage import BlockId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.context import Context
+    from repro.engine.rdd import RDD
+
+
+class DAGScheduler:
+    def __init__(self, context: "Context", max_task_failures: int = 4):
+        self.context = context
+        self.max_task_failures = max_task_failures
+        self._stage_ids = itertools.count()
+        self._job_ids = itertools.count()
+        self._shuffle_stages: dict[int, ShuffleMapStage] = {}
+        self._final_results: dict[int, dict[int, Any]] = {}
+
+    # -- public entry point --------------------------------------------------
+    def run_job(
+        self,
+        rdd: "RDD",
+        func: Callable,
+        partitions: list[int] | None = None,
+    ) -> list[Any]:
+        job_id = next(self._job_ids)
+        t0 = time.perf_counter()
+        target = list(range(rdd.num_partitions)) if partitions is None else list(partitions)
+        final = ResultStage(
+            stage_id=next(self._stage_ids),
+            rdd=rdd,
+            parents=self._parent_stages(rdd),
+            func=func,
+            partitions=target,
+        )
+        n_stages, n_tasks = self._execute_stage(final, counters=[0, 0])
+        results = self._final_results.pop(final.stage_id)
+        self.context.event_log.record_job(
+            JobSummary(
+                job_id=job_id,
+                duration_s=time.perf_counter() - t0,
+                n_stages=n_stages,
+                n_tasks=n_tasks,
+            )
+        )
+        return [results[p] for p in target]
+
+    # -- stage graph ----------------------------------------------------------
+    def _parent_stages(self, rdd: "RDD") -> list[Stage]:
+        parents: list[Stage] = []
+        visited: set[int] = set()
+
+        def visit(r: "RDD") -> None:
+            if r.id in visited:
+                return
+            visited.add(r.id)
+            for dep in r.dependencies:
+                if isinstance(dep, ShuffleDependency):
+                    parents.append(self._shuffle_stage_for(dep))
+                else:
+                    visit(dep.rdd)
+
+        visit(rdd)
+        return parents
+
+    def _shuffle_stage_for(self, dep: ShuffleDependency) -> ShuffleMapStage:
+        stage = self._shuffle_stages.get(dep.shuffle_id)
+        if stage is None:
+            stage = ShuffleMapStage(
+                stage_id=next(self._stage_ids),
+                rdd=dep.rdd,
+                parents=self._parent_stages(dep.rdd),
+                shuffle_dep=dep,
+            )
+            self._shuffle_stages[dep.shuffle_id] = stage
+        return stage
+
+    # -- execution --------------------------------------------------------------
+    def _execute_stage(self, stage: Stage, counters: list[int]) -> tuple[int, int]:
+        """Run ``stage`` (parents first). Returns (stages_run, tasks_run)."""
+        if (
+            isinstance(stage, ShuffleMapStage)
+            and self.context.shuffle_manager.is_complete(stage.shuffle_dep.shuffle_id)
+        ):
+            return tuple(counters)  # map outputs already materialized
+        for parent in stage.parents:
+            self._execute_stage(parent, counters)
+
+        tasks = self._make_tasks(stage)
+        results = self._run_with_retries(stage, tasks)
+
+        if isinstance(stage, ShuffleMapStage):
+            dep = stage.shuffle_dep
+            self.context.shuffle_manager.register_shuffle(
+                dep.shuffle_id, len(stage.rdd.partitions())
+            )
+            for res in results.values():
+                written = self.context.shuffle_manager.put_map_output(
+                    dep.shuffle_id, res.task.partition.index, res.value
+                )
+                res.metrics.shuffle_write_bytes = written
+        else:
+            self._final_results[stage.stage_id] = {
+                p: res.value for p, res in results.items()
+            }
+        for res in results.values():
+            self._finish_task(res)
+        self.context.event_log.summarize_stage(stage.stage_id, stage.kind)
+        counters[0] += 1
+        counters[1] += len(tasks)
+        return tuple(counters)
+
+    def _make_tasks(self, stage: Stage) -> list[Task]:
+        rdd = stage.rdd
+        parts = rdd.partitions()
+        if isinstance(stage, ResultStage):
+            indices = stage.partitions
+            kind = "result"
+        else:
+            indices = list(range(len(parts)))
+            kind = "shuffle_map"
+        tasks = []
+        for i in indices:
+            task = Task(
+                stage_id=stage.stage_id,
+                kind=kind,
+                rdd=rdd,
+                partition=parts[i],
+                func=stage.func if isinstance(stage, ResultStage) else None,
+                shuffle_dep=stage.shuffle_dep if isinstance(stage, ShuffleMapStage) else None,
+            )
+            if self.context.executor.needs_preload:
+                self._preload_task_inputs(rdd, parts[i].index, task)
+            tasks.append(task)
+        return tasks
+
+    def _preload_task_inputs(self, rdd: "RDD", partition_index: int, task: Task) -> None:
+        """Resolve driver-resident inputs a remote worker cannot reach."""
+        from repro.engine.rdd import CoGroupedRDD, ShuffledRDD
+
+        if rdd.storage_level is not None:
+            data = self.context.block_manager.get(BlockId(rdd.id, partition_index))
+            if data is not None:
+                task.preloaded_blocks[(rdd.id, partition_index)] = data
+                return  # the cache hit cuts the pipeline here
+        if isinstance(rdd, ShuffledRDD):
+            key = (rdd.shuffle_dep.shuffle_id, partition_index)
+            task.preloaded_shuffle[key], _ = self.context.shuffle_manager.fetch(*key)
+            return
+        if isinstance(rdd, CoGroupedRDD):
+            for dep in rdd.shuffle_deps:
+                key = (dep.shuffle_id, partition_index)
+                task.preloaded_shuffle[key], _ = self.context.shuffle_manager.fetch(*key)
+            return
+        for dep in rdd.dependencies:
+            for parent_idx in dep.get_parents(partition_index):
+                self._preload_task_inputs(dep.rdd, parent_idx, task)
+
+    def _run_with_retries(self, stage: Stage, tasks: list[Task]) -> dict[int, TaskResult]:
+        done: dict[int, TaskResult] = {}
+        pending = list(tasks)
+        injector = self.context.fault_injector
+        while pending:
+            run_now: list[Task] = []
+            retry_later: list[Task] = []
+            for task in pending:
+                try:
+                    injector.check(task.kind, task.partition.index, task.attempt)
+                    run_now.append(task)
+                except Exception as exc:  # injected pre-dispatch failure
+                    self._note_failure(task, exc)
+                    task.attempt += 1
+                    if task.attempt >= self.max_task_failures:
+                        raise TaskFailedError(task.describe(), task.attempt, exc) from exc
+                    retry_later.append(task)
+            outcomes = self.context.executor.run_tasks(run_now)
+            pending = retry_later
+            for task, outcome in outcomes:
+                if not isinstance(outcome, BaseException):
+                    # post-completion injection: the work ran, the result
+                    # is lost anyway (crash at result delivery)
+                    try:
+                        injector.check(
+                            task.kind, task.partition.index, task.attempt, when="after"
+                        )
+                    except Exception as exc:  # noqa: BLE001
+                        outcome = exc
+                if isinstance(outcome, BaseException):
+                    self._note_failure(task, outcome)
+                    task.attempt += 1
+                    if task.attempt >= self.max_task_failures:
+                        raise TaskFailedError(task.describe(), task.attempt, outcome)
+                    pending.append(task)
+                else:
+                    done[task.partition.index] = outcome
+        return done
+
+    def _note_failure(self, task: Task, exc: BaseException) -> None:
+        metrics = TaskMetrics(
+            stage_id=task.stage_id,
+            partition=task.partition.index,
+            attempt=task.attempt,
+            kind=f"failed_{task.kind}",
+        )
+        self.context.event_log.record_task(metrics)
+
+    def _finish_task(self, res: TaskResult) -> None:
+        self.context.event_log.record_task(res.metrics)
+        self.context.accumulators.merge_all(res.accumulator_deltas)
+        for (rdd_id, part), data in res.cache_back.items():
+            level = self.context._storage_level_of(rdd_id)
+            if level is not None:
+                self.context.block_manager.put(BlockId(rdd_id, part), data, level)

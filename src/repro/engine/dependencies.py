@@ -1,0 +1,90 @@
+"""RDD dependencies — the edges of the lineage graph.
+
+Narrow dependencies (each child partition depends on a bounded set of
+parent partitions) are pipelined inside one task; a shuffle dependency
+ends the pipeline and introduces a stage boundary, exactly as in Spark's
+DAG scheduler paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.partitioner import Partitioner
+    from repro.engine.rdd import RDD
+
+_shuffle_ids = itertools.count()
+
+
+@dataclass
+class Aggregator:
+    """combineByKey semantics: how shuffled values merge.
+
+    ``create_combiner(v)`` starts a combiner from the first value of a key,
+    ``merge_value(c, v)`` folds another value in, and
+    ``merge_combiners(c1, c2)`` merges two partial combiners (used on the
+    reduce side and, when ``map_side_combine`` is on, also on the map side).
+    """
+
+    create_combiner: Callable[[Any], Any]
+    merge_value: Callable[[Any, Any], Any]
+    merge_combiners: Callable[[Any, Any], Any]
+
+
+class Dependency:
+    """Base edge type."""
+
+    def __init__(self, rdd: "RDD"):
+        self.rdd = rdd  # the parent RDD
+
+
+class NarrowDependency(Dependency):
+    """Child partition i depends on parent partitions ``get_parents(i)``."""
+
+    def get_parents(self, partition_index: int) -> list[int]:
+        raise NotImplementedError
+
+
+class OneToOneDependency(NarrowDependency):
+    """map/filter/flatMap-style: child partition i <- parent partition i."""
+
+    def get_parents(self, partition_index: int) -> list[int]:
+        return [partition_index]
+
+
+class RangeDependency(NarrowDependency):
+    """union-style: a contiguous range of child partitions maps to the
+    parent's partitions shifted by ``out_start``."""
+
+    def __init__(self, rdd: "RDD", in_start: int, out_start: int, length: int):
+        super().__init__(rdd)
+        self.in_start = in_start
+        self.out_start = out_start
+        self.length = length
+
+    def get_parents(self, partition_index: int) -> list[int]:
+        if self.out_start <= partition_index < self.out_start + self.length:
+            return [partition_index - self.out_start + self.in_start]
+        return []
+
+
+class ShuffleDependency(Dependency):
+    """Stage boundary: the parent's records are repartitioned by key."""
+
+    def __init__(
+        self,
+        rdd: "RDD",
+        partitioner: "Partitioner",
+        aggregator: Aggregator | None = None,
+        map_side_combine: bool = False,
+    ):
+        super().__init__(rdd)
+        if map_side_combine and aggregator is None:
+            raise ValueError("map_side_combine requires an aggregator")
+        self.partitioner = partitioner
+        self.aggregator = aggregator
+        self.map_side_combine = map_side_combine
+        self.shuffle_id = next(_shuffle_ids)

@@ -1,0 +1,140 @@
+"""Executor backends: serial, thread pool, process pool.
+
+The scheduler hands an executor a batch of :class:`~repro.engine.stage.Task`
+objects; the executor returns ``(task, result_or_exception)`` pairs.  The
+process backend ships tasks with cloudpickle so user lambdas survive the
+hop; driver-resident inputs were already resolved into the task by the
+scheduler (see ``DAGScheduler._preload_task_inputs``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.stage import Task, TaskResult
+
+
+class Executor:
+    """Backend interface."""
+
+    needs_preload = False  # True when tasks run outside the driver process
+
+    def run_tasks(self, tasks: list["Task"]) -> list[tuple["Task", "TaskResult | BaseException"]]:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        pass
+
+    @property
+    def parallelism(self) -> int:
+        return 1
+
+
+class SerialExecutor(Executor):
+    """Runs tasks one by one on the driver thread (deterministic; used by
+    the benchmark harness so per-task durations are interference-free)."""
+
+    def run_tasks(self, tasks):
+        out = []
+        for task in tasks:
+            try:
+                out.append((task, task.run(worker_id="worker-0")))
+            except BaseException as exc:  # noqa: BLE001 - scheduler decides
+                out.append((task, exc))
+        return out
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool backend: shared memory, concurrent I/O."""
+
+    def __init__(self, n_threads: int):
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        self._n = n_threads
+        self._pool = ThreadPoolExecutor(
+            max_workers=n_threads, thread_name_prefix="repro-exec"
+        )
+
+    @property
+    def parallelism(self) -> int:
+        return self._n
+
+    def run_tasks(self, tasks):
+        def run_one(indexed):
+            slot, task = indexed
+            return task.run(worker_id=f"worker-{slot % self._n}")
+
+        futures = [
+            (task, self._pool.submit(run_one, (i, task))) for i, task in enumerate(tasks)
+        ]
+        out = []
+        for task, fut in futures:
+            try:
+                out.append((task, fut.result()))
+            except BaseException as exc:  # noqa: BLE001
+                out.append((task, exc))
+        return out
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def _run_pickled_task(blob: bytes, worker_id: str) -> bytes:
+    """Top-level worker entry point (must be importable by child processes)."""
+    import pickle
+
+    import cloudpickle
+
+    task = pickle.loads(blob)
+    result = task.run(worker_id=worker_id)
+    return cloudpickle.dumps(result)
+
+
+class ProcessExecutor(Executor):
+    """Process-pool backend: true CPU parallelism via cloudpickled tasks."""
+
+    needs_preload = True
+
+    def __init__(self, n_processes: int | None = None):
+        self._n = n_processes or max(1, (os.cpu_count() or 2) - 1)
+        self._pool = ProcessPoolExecutor(max_workers=self._n)
+
+    @property
+    def parallelism(self) -> int:
+        return self._n
+
+    def run_tasks(self, tasks):
+        import pickle
+
+        import cloudpickle
+
+        futures = []
+        for i, task in enumerate(tasks):
+            blob = cloudpickle.dumps(task)
+            futures.append(
+                (task, self._pool.submit(_run_pickled_task, blob, f"worker-{i % self._n}"))
+            )
+        out = []
+        for task, fut in futures:
+            try:
+                out.append((task, pickle.loads(fut.result())))
+            except BaseException as exc:  # noqa: BLE001
+                out.append((task, exc))
+        return out
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def make_executor(backend: str, parallelism: int | None = None) -> Executor:
+    """Factory: ``"serial"``, ``"threads"`` or ``"processes"``."""
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "threads":
+        return ThreadExecutor(parallelism or max(2, (os.cpu_count() or 2)))
+    if backend == "processes":
+        return ProcessExecutor(parallelism)
+    raise ValueError(f"unknown executor backend {backend!r}")

@@ -1,0 +1,77 @@
+"""Fault injection for the engine.
+
+Rules are matched by the scheduler immediately before dispatching a task
+attempt; a matching rule makes that attempt fail with
+:class:`InjectedTaskFailure`, exercising the retry path.  Cache-block loss
+(``drop_cached_block``) exercises lineage recomputation instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import EngineError
+
+
+class InjectedTaskFailure(EngineError):
+    """Synthetic failure raised by the fault injector."""
+
+
+@dataclass
+class FailureRule:
+    """Fail attempts of matching tasks while ``times`` budget remains.
+
+    ``stage_kind``/``partition`` of ``None`` match anything.  ``when``
+    selects the failure point: ``"before"`` fails the attempt before any
+    work happens (a scheduling/launch failure); ``"after"`` lets the task
+    run to completion and then discards its result (a crash at result
+    delivery — the expensive case, since the work is wasted).
+    """
+
+    stage_kind: str | None = None
+    partition: int | None = None
+    times: int = 1
+    when: str = "before"
+    fired: int = field(default=0, init=False)
+
+    def matches(self, kind: str, partition: int) -> bool:
+        if self.fired >= self.times:
+            return False
+        if self.stage_kind is not None and self.stage_kind != kind:
+            return False
+        if self.partition is not None and self.partition != partition:
+            return False
+        return True
+
+
+class FaultInjector:
+    def __init__(self):
+        self.rules: list[FailureRule] = []
+        self.injected = 0
+
+    def fail_task(
+        self,
+        stage_kind: str | None = None,
+        partition: int | None = None,
+        times: int = 1,
+        when: str = "before",
+    ) -> FailureRule:
+        if when not in ("before", "after"):
+            raise ValueError("when must be 'before' or 'after'")
+        rule = FailureRule(stage_kind=stage_kind, partition=partition, times=times, when=when)
+        self.rules.append(rule)
+        return rule
+
+    def check(self, kind: str, partition: int, attempt: int, when: str = "before") -> None:
+        """Raise when a rule for the given failure point matches."""
+        for rule in self.rules:
+            if rule.when == when and rule.matches(kind, partition):
+                rule.fired += 1
+                self.injected += 1
+                raise InjectedTaskFailure(
+                    f"injected {when}-failure: {kind} partition {partition} "
+                    f"attempt {attempt}"
+                )
+
+    def clear(self) -> None:
+        self.rules.clear()

@@ -1,0 +1,40 @@
+"""Partition descriptors.
+
+A partition is the unit of parallelism: every RDD is a list of partitions
+and every task computes exactly one of them.  Concrete RDDs attach their
+own payload (a slice of driver data, an input split, a reduce-bucket id).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Base partition: just an index within its RDD."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class DataPartition(Partition):
+    """Partition of a parallelized driver-side collection."""
+
+    data: tuple
+
+    def __repr__(self) -> str:  # keep reprs small; data can be huge
+        return f"DataPartition(index={self.index}, n={len(self.data)})"
+
+
+@dataclass(frozen=True)
+class SplitPartition(Partition):
+    """Partition backed by a mini-DFS input split."""
+
+    split: Any  # repro.hdfs.textio.InputSplit
+
+
+@dataclass(frozen=True)
+class ReducePartition(Partition):
+    """Post-shuffle partition: one reduce bucket of a shuffle."""

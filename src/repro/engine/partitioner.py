@@ -1,0 +1,78 @@
+"""Partitioners map record keys to reduce-partition indices.
+
+Partitioning must be *stable across processes* — the driver and a
+process-pool worker must agree on where a key lands — so the hash
+partitioner uses :func:`repro.common.rng.stable_hash` rather than
+Python's per-process-salted ``hash``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any
+
+from repro.common.rng import stable_hash
+
+
+class Partitioner:
+    """Base partitioner interface."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.num_partitions = num_partitions
+
+    def partition(self, key: Any) -> int:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:  # pragma: no cover - dict use only
+        return hash((type(self).__name__, self.num_partitions))
+
+
+class HashPartitioner(Partitioner):
+    """Deterministic hash partitioning (Spark's default)."""
+
+    def partition(self, key: Any) -> int:
+        return stable_hash(key) % self.num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Range partitioning over sorted ``bounds`` (used by ``sortBy``).
+
+    ``bounds`` holds ``num_partitions - 1`` ascending split points; keys are
+    placed by binary search, so output partition *i* holds keys <= the i-th
+    bound and the concatenation of sorted partitions is globally sorted.
+    """
+
+    def __init__(self, bounds: list, ascending: bool = True):
+        super().__init__(len(bounds) + 1)
+        self.bounds = list(bounds)
+        self.ascending = ascending
+
+    def partition(self, key: Any) -> int:
+        idx = bisect.bisect_left(self.bounds, key)
+        if not self.ascending:
+            idx = self.num_partitions - 1 - idx
+        return idx
+
+
+def compute_range_bounds(sample: list, num_partitions: int) -> list:
+    """Choose ``num_partitions - 1`` split points from a key sample.
+
+    Mirrors Spark's ``RangePartitioner.determineBounds``: sort the sample and
+    take evenly spaced quantiles, de-duplicating identical neighbours.
+    """
+    if num_partitions <= 1 or not sample:
+        return []
+    ordered = sorted(sample)
+    bounds: list = []
+    for i in range(1, num_partitions):
+        pos = int(round(i * len(ordered) / num_partitions))
+        pos = min(max(pos, 0), len(ordered) - 1)
+        candidate = ordered[pos]
+        if not bounds or candidate > bounds[-1]:
+            bounds.append(candidate)
+    return bounds

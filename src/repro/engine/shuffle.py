@@ -1,0 +1,97 @@
+"""Shuffle manager: map-output registration and reduce-side fetches.
+
+Map tasks bucket their output records by the shuffle's partitioner and
+register the buckets here; reduce tasks fetch one bucket per map task.
+Blocks live in driver memory (this is a single-process engine), but every
+byte is accounted so the cluster model can charge network cost for the
+all-to-all exchange a real cluster would perform.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.common.errors import EngineError
+from repro.common.sizeof import estimate_size
+
+
+@dataclass
+class ShuffleMetrics:
+    blocks_written: int = 0
+    bytes_written: int = 0
+    blocks_fetched: int = 0
+    bytes_fetched: int = 0
+
+
+class ShuffleManager:
+    def __init__(self):
+        # (shuffle_id, map_partition) -> list of buckets (one per reducer)
+        self._outputs: dict[tuple[int, int], list[list]] = {}
+        self._sizes: dict[tuple[int, int], list[int]] = {}
+        self._expected_maps: dict[int, int] = {}
+        self._lock = threading.Lock()
+        self.metrics = ShuffleMetrics()
+
+    def register_shuffle(self, shuffle_id: int, num_maps: int) -> None:
+        with self._lock:
+            self._expected_maps[shuffle_id] = num_maps
+
+    def put_map_output(self, shuffle_id: int, map_partition: int, buckets: list[list]) -> int:
+        """Store the bucketed output of one map task; returns bytes written."""
+        size_by_bucket = [estimate_size(b) if b else 0 for b in buckets]
+        total = sum(size_by_bucket)
+        with self._lock:
+            self._outputs[(shuffle_id, map_partition)] = buckets
+            self._sizes[(shuffle_id, map_partition)] = size_by_bucket
+            self.metrics.blocks_written += sum(1 for b in buckets if b)
+            self.metrics.bytes_written += total
+        return total
+
+    def is_complete(self, shuffle_id: int) -> bool:
+        with self._lock:
+            expected = self._expected_maps.get(shuffle_id)
+            if expected is None:
+                return False
+            have = sum(1 for sid, _ in self._outputs if sid == shuffle_id)
+            return have >= expected
+
+    def fetch(self, shuffle_id: int, reduce_partition: int) -> tuple[list[list], int]:
+        """All map buckets destined for ``reduce_partition``.
+
+        Returns ``(buckets, bytes_fetched)``.  Raises when some map output
+        is missing (the stage ordering guarantees this never happens in a
+        healthy run).
+        """
+        with self._lock:
+            expected = self._expected_maps.get(shuffle_id)
+            if expected is None:
+                raise EngineError(f"unknown shuffle {shuffle_id}")
+            buckets: list[list] = []
+            fetched = 0
+            for map_partition in range(expected):
+                key = (shuffle_id, map_partition)
+                if key not in self._outputs:
+                    raise EngineError(
+                        f"shuffle {shuffle_id} missing output of map {map_partition}"
+                    )
+                bucket = self._outputs[key][reduce_partition]
+                size = self._sizes[key][reduce_partition]
+                buckets.append(bucket)
+                self.metrics.blocks_fetched += 1 if bucket else 0
+                self.metrics.bytes_fetched += size
+                fetched += size
+            return buckets, fetched
+
+    def remove_shuffle(self, shuffle_id: int) -> None:
+        with self._lock:
+            for key in [k for k in list(self._outputs) if k[0] == shuffle_id]:
+                del self._outputs[key]
+                del self._sizes[key]
+            self._expected_maps.pop(shuffle_id, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._outputs.clear()
+            self._sizes.clear()
+            self._expected_maps.clear()

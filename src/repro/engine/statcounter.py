@@ -1,0 +1,80 @@
+"""StatCounter — mergeable running statistics (Spark's ``StatCounter``).
+
+Numerically stable single-pass mean/variance via Welford's algorithm with
+Chan's parallel merge, so per-partition counters combine exactly on the
+driver.  Backs ``RDD.stats()``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class StatCounter:
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0  # sum of squared deviations from the mean
+    min_value: float = math.inf
+    max_value: float = -math.inf
+
+    def add(self, value: float) -> "StatCounter":
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+        return self
+
+    def merge(self, other: "StatCounter") -> "StatCounter":
+        """Chan et al. parallel combine; exact for disjoint partitions."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.min_value = other.min_value
+            self.max_value = other.max_value
+            return self
+        delta = other.mean - self.mean
+        total = self.count + other.count
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+        return self
+
+    @property
+    def sum(self) -> float:
+        return self.mean * self.count
+
+    @property
+    def variance(self) -> float:
+        """Population variance (nan for an empty counter)."""
+        return self.m2 / self.count if self.count else math.nan
+
+    @property
+    def sample_variance(self) -> float:
+        return self.m2 / (self.count - 1) if self.count > 1 else math.nan
+
+    @property
+    def stdev(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if not math.isnan(v) else math.nan
+
+    @property
+    def sample_stdev(self) -> float:
+        v = self.sample_variance
+        return math.sqrt(v) if not math.isnan(v) else math.nan
+
+    def __repr__(self) -> str:
+        return (
+            f"StatCounter(count={self.count}, mean={self.mean:.6g}, "
+            f"stdev={self.stdev:.6g}, min={self.min_value:.6g}, max={self.max_value:.6g})"
+        )

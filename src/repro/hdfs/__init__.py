@@ -1,0 +1,28 @@
+"""Mini-DFS: an in-process HDFS analogue with real local-disk block storage."""
+
+from repro.hdfs.blocks import DEFAULT_BLOCK_SIZE, BlockId, BlockInfo, FileMeta
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.filesystem import DfsMetrics, MiniDfs
+from repro.hdfs.namenode import NameNode, normalize_path
+from repro.hdfs.textio import (
+    InputSplit,
+    compute_splits,
+    read_all_lines_via_splits,
+    read_split_lines,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "BlockId",
+    "BlockInfo",
+    "DataNode",
+    "DfsMetrics",
+    "FileMeta",
+    "InputSplit",
+    "MiniDfs",
+    "NameNode",
+    "compute_splits",
+    "normalize_path",
+    "read_all_lines_via_splits",
+    "read_split_lines",
+]

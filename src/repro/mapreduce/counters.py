@@ -1,0 +1,43 @@
+"""Hadoop-style job counters: ``(group, name) -> int``."""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+
+
+class Counters:
+    def __init__(self):
+        self._values: dict[tuple[str, str], int] = defaultdict(int)
+        self._lock = threading.Lock()
+
+    def increment(self, group: str, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._values[(group, name)] += amount
+
+    def value(self, group: str, name: str) -> int:
+        return self._values.get((group, name), 0)
+
+    def group(self, group: str) -> dict[str, int]:
+        return {n: v for (g, n), v in self._values.items() if g == group}
+
+    def as_dict(self) -> dict[tuple[str, str], int]:
+        return dict(self._values)
+
+    def merge(self, other: "Counters") -> None:
+        with self._lock:
+            for key, v in other._values.items():
+                self._values[key] += v
+
+    def __repr__(self) -> str:
+        return f"Counters({dict(self._values)!r})"
+
+
+# Builtin counter names (subset of Hadoop's).
+GROUP_TASK = "task"
+MAP_INPUT_RECORDS = "map_input_records"
+MAP_OUTPUT_RECORDS = "map_output_records"
+COMBINE_INPUT_RECORDS = "combine_input_records"
+COMBINE_OUTPUT_RECORDS = "combine_output_records"
+REDUCE_INPUT_RECORDS = "reduce_input_records"
+REDUCE_OUTPUT_RECORDS = "reduce_output_records"

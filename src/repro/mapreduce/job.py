@@ -1,0 +1,100 @@
+"""Job specification: mapper/combiner/reducer interfaces and JobSpec.
+
+The API is a faithful, pythonic port of Hadoop 1.x MapReduce:
+
+* ``Mapper.map(key, value, emit)`` is called once per input record, where
+  ``key`` is the byte offset of the line and ``value`` the line text.
+* ``Combiner`` (optional) runs over each map task's local output before
+  the shuffle.
+* ``Reducer.reduce(key, values, emit)`` is called once per key with every
+  shuffled value for that key.
+* ``distributed_cache`` reproduces Hadoop's DistributedCache: a read-only
+  dict shipped to every task — MRApriori ships the previous level's
+  frequent itemsets through it, exactly like the PApriori paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.errors import JobConfigError
+from repro.common.rng import stable_hash
+
+
+class Mapper:
+    """Override :meth:`map`.  ``setup``/``cleanup`` bracket each map task."""
+
+    def setup(self, config: dict) -> None:  # noqa: B027 - optional hook
+        pass
+
+    def map(self, key: Any, value: Any, emit: Callable[[Any, Any], None]) -> None:
+        raise NotImplementedError
+
+    def cleanup(self, emit: Callable[[Any, Any], None]) -> None:  # noqa: B027
+        pass
+
+
+class Reducer:
+    """Override :meth:`reduce`.  Values arrive grouped by key."""
+
+    def setup(self, config: dict) -> None:  # noqa: B027
+        pass
+
+    def reduce(self, key: Any, values: list, emit: Callable[[Any, Any], None]) -> None:
+        raise NotImplementedError
+
+    def cleanup(self, emit: Callable[[Any, Any], None]) -> None:  # noqa: B027
+        pass
+
+
+def default_partitioner(key: Any, num_reducers: int) -> int:
+    return stable_hash(key) % num_reducers
+
+
+@dataclass
+class JobSpec:
+    """Everything needed to run one MapReduce job."""
+
+    name: str
+    input_paths: list[str]
+    output_path: str
+    mapper_factory: Callable[[], Mapper]
+    reducer_factory: Callable[[], Reducer]
+    combiner_factory: Callable[[], Reducer] | None = None
+    num_reducers: int = 2
+    partitioner: Callable[[Any, int], int] = default_partitioner
+    config: dict = field(default_factory=dict)
+    distributed_cache: dict = field(default_factory=dict)
+    # How reducer output is rendered into the text part files:
+    output_formatter: Callable[[Any, Any], str] = lambda k, v: f"{k}\t{v}"
+
+    def validate(self) -> None:
+        if not self.input_paths:
+            raise JobConfigError(f"job {self.name!r}: no input paths")
+        if not self.output_path.startswith("/"):
+            raise JobConfigError(f"job {self.name!r}: output path must be absolute")
+        if self.num_reducers < 1:
+            raise JobConfigError(f"job {self.name!r}: num_reducers must be >= 1")
+
+
+class FunctionMapper(Mapper):
+    """Adapter: build a Mapper from ``fn(key, value) -> iterable[(k, v)]``."""
+
+    def __init__(self, fn: Callable[[Any, Any], Any]):
+        self._fn = fn
+
+    def map(self, key, value, emit) -> None:
+        for k, v in self._fn(key, value):
+            emit(k, v)
+
+
+class FunctionReducer(Reducer):
+    """Adapter: build a Reducer from ``fn(key, values) -> iterable[(k, v)]``."""
+
+    def __init__(self, fn: Callable[[Any, list], Any]):
+        self._fn = fn
+
+    def reduce(self, key, values, emit) -> None:
+        for k, v in self._fn(key, values):
+            emit(k, v)

@@ -1,0 +1,59 @@
+"""Iterative job chaining — the k-phase structure of MapReduce Apriori.
+
+Hadoop has no iteration primitive: a k-level Apriori run is *k separate
+jobs*, each re-reading the transaction file from HDFS and writing its
+level's output back (HaLoop's motivating observation, cited by the
+paper).  :class:`JobChain` packages that pattern and collects the per-job
+metrics the evaluation plots per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.runner import JobMetrics, JobResult, JobRunner, read_job_output
+
+
+@dataclass
+class ChainResult:
+    results: list[JobResult] = field(default_factory=list)
+
+    @property
+    def per_job_metrics(self) -> list[JobMetrics]:
+        return [r.metrics for r in self.results]
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(r.metrics.wall_seconds for r in self.results)
+
+
+class JobChain:
+    """Runs jobs produced one at a time by ``next_job``.
+
+    ``next_job(iteration, previous_result)`` returns the next
+    :class:`JobSpec`, or ``None`` to stop.  The previous job's *text
+    output* is available through :meth:`read_output` so drivers can decide
+    termination (MRApriori stops when a level yields no frequent itemsets).
+    """
+
+    def __init__(self, runner: JobRunner, max_iterations: int = 64):
+        self.runner = runner
+        self.max_iterations = max_iterations
+
+    def run(
+        self, next_job: Callable[[int, JobResult | None], JobSpec | None]
+    ) -> ChainResult:
+        chain = ChainResult()
+        previous: JobResult | None = None
+        for iteration in range(self.max_iterations):
+            spec = next_job(iteration, previous)
+            if spec is None:
+                break
+            previous = self.runner.run(spec)
+            chain.results.append(previous)
+        return chain
+
+    def read_output(self, result: JobResult) -> list[str]:
+        return read_job_output(self.runner.dfs, result.output_path)

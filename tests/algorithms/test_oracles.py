@@ -1,0 +1,145 @@
+"""Tests for the single-node reference miners (Apriori, Eclat, FP-Growth)."""
+
+import math
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    apriori,
+    by_level,
+    eclat,
+    fpgrowth,
+    generate_candidates,
+    max_level,
+    normalize_transactions,
+    support_threshold,
+    vertical_layout,
+)
+from repro.common.errors import MiningError
+
+CLASSIC = [
+    ["bread", "milk"],
+    ["bread", "diaper", "beer", "eggs"],
+    ["milk", "diaper", "beer", "cola"],
+    ["bread", "milk", "diaper", "beer"],
+    ["bread", "milk", "diaper", "cola"],
+]
+
+
+def brute_force(txns, min_support):
+    txns = normalize_transactions(txns)
+    thr = math.ceil(min_support * len(txns) - 1e-9)
+    items = sorted({i for t in txns for i in t})
+    out = {}
+    for k in range(1, len(items) + 1):
+        found_any = False
+        for cand in combinations(items, k):
+            cnt = sum(1 for t in txns if set(cand) <= set(t))
+            if cnt >= max(1, thr):
+                out[cand] = cnt
+                found_any = True
+        if not found_any:
+            break
+    return out
+
+
+MINERS = {"apriori": apriori, "eclat": eclat, "fpgrowth": fpgrowth}
+
+
+@pytest.mark.parametrize("miner", sorted(MINERS))
+class TestAgainstBruteForce:
+    def test_classic_basket(self, miner):
+        assert MINERS[miner](CLASSIC, 0.6) == brute_force(CLASSIC, 0.6)
+
+    def test_support_one(self, miner):
+        got = MINERS[miner]([["a", "b"], ["a", "b"]], 1.0)
+        assert got == {("a",): 2, ("b",): 2, ("a", "b"): 2}
+
+    def test_nothing_frequent(self, miner):
+        got = MINERS[miner]([["a"], ["b"], ["c"], ["d"]], 0.5)
+        assert got == {}
+
+    def test_single_transaction(self, miner):
+        got = MINERS[miner]([["x", "y"]], 0.5)
+        assert got == {("x",): 1, ("y",): 1, ("x", "y"): 1}
+
+    def test_duplicate_items_in_transaction(self, miner):
+        got = MINERS[miner]([["a", "a", "b"], ["a", "b"]], 1.0)
+        assert got[("a", "b")] == 2
+
+    def test_max_length_caps_output(self, miner):
+        got = MINERS[miner](CLASSIC, 0.6, max_length=1)
+        assert got and all(len(k) == 1 for k in got)
+
+    def test_empty_database_raises(self, miner):
+        with pytest.raises(MiningError):
+            MINERS[miner]([], 0.5)
+
+    def test_int_items(self, miner):
+        txns = [[1, 2, 3], [1, 2], [2, 3], [1, 3], [1, 2, 3]]
+        assert MINERS[miner](txns, 0.6) == brute_force(txns, 0.6)
+
+
+transactions_strategy = st.lists(
+    st.lists(st.integers(0, 8), min_size=1, max_size=6),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestOraclesAgreeProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(transactions_strategy, st.floats(0.05, 1.0))
+    def test_three_way_agreement(self, txns, sup):
+        a = apriori(txns, sup)
+        assert a == eclat(txns, sup)
+        assert a == fpgrowth(txns, sup)
+
+    @settings(max_examples=30, deadline=None)
+    @given(transactions_strategy, st.floats(0.1, 1.0))
+    def test_matches_brute_force(self, txns, sup):
+        assert apriori(txns, sup) == brute_force(txns, sup)
+
+    @settings(max_examples=40, deadline=None)
+    @given(transactions_strategy, st.floats(0.05, 1.0))
+    def test_downward_closure(self, txns, sup):
+        frequent = fpgrowth(txns, sup)
+        for itemset, count in frequent.items():
+            for r in range(1, len(itemset)):
+                for sub in combinations(itemset, r):
+                    assert sub in frequent
+                    assert frequent[sub] >= count  # support anti-monotone
+
+    @settings(max_examples=30, deadline=None)
+    @given(transactions_strategy, st.floats(0.05, 0.5), st.floats(0.5, 1.0))
+    def test_monotone_in_support(self, txns, lo, hi):
+        assert set(fpgrowth(txns, hi)) <= set(fpgrowth(txns, lo))
+
+
+class TestHelpers:
+    def test_generate_candidates_pairs(self):
+        l2 = {("a", "b"): 3, ("a", "c"): 3, ("b", "c"): 3}
+        assert generate_candidates(l2) == {("a", "b", "c")}
+
+    def test_generate_candidates_prunes(self):
+        l2 = {("a", "b"): 3, ("a", "c"): 3}  # (b, c) missing
+        assert generate_candidates(l2) == set()
+
+    def test_by_level_and_max_level(self):
+        itemsets = {("a",): 3, ("b",): 2, ("a", "b"): 2}
+        levels = by_level(itemsets)
+        assert set(levels) == {1, 2}
+        assert max_level(itemsets) == 2
+        assert max_level({}) == 0
+
+    def test_vertical_layout(self):
+        layout = vertical_layout(normalize_transactions([["a", "b"], ["b"]]))
+        assert layout == {"a": frozenset({0}), "b": frozenset({0, 1})}
+
+    def test_support_threshold(self):
+        assert support_threshold([1, 2, 3, 4], 0.5) == 2
+        with pytest.raises(MiningError):
+            support_threshold([], 0.5)

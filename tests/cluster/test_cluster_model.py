@@ -1,0 +1,151 @@
+"""Cluster spec and replay simulation tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ClusterModelError
+from repro.cluster import (
+    ClusterSpec,
+    StageRecord,
+    list_schedule_makespan,
+    simulate_mr_job,
+    simulate_mr_run,
+    simulate_spark_run,
+    simulate_spark_stage,
+    speedup_curve,
+)
+
+
+class TestClusterSpec:
+    def test_total_cores(self):
+        assert ClusterSpec(nodes=12, cores_per_node=8).total_cores == 96
+
+    def test_with_nodes(self):
+        spec = ClusterSpec(nodes=12).with_nodes(4)
+        assert spec.nodes == 4
+        assert spec.cores_per_node == 8
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ClusterModelError):
+            ClusterSpec(nodes=0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ClusterModelError):
+            ClusterSpec(disk_read_mbps=0)
+
+    def test_byte_costs_scale_with_nodes(self):
+        small = ClusterSpec(nodes=4)
+        big = ClusterSpec(nodes=8)
+        nbytes = 100 * 1024 * 1024
+        assert small.disk_read_seconds(nbytes) == pytest.approx(
+            2 * big.disk_read_seconds(nbytes)
+        )
+        assert small.network_seconds(nbytes) > big.network_seconds(nbytes)
+
+    def test_write_pays_replication(self):
+        spec = ClusterSpec(nodes=1, disk_read_mbps=100, disk_write_mbps=100, hdfs_replication=2)
+        assert spec.disk_write_seconds(10**6) == pytest.approx(2 * spec.disk_read_seconds(10**6))
+
+
+class TestListSchedule:
+    def test_single_worker_is_sum(self):
+        assert list_schedule_makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_enough_workers_is_max(self):
+        assert list_schedule_makespan([1.0, 2.0, 3.0], 3) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert list_schedule_makespan([], 4) == 0.0
+
+    def test_two_workers(self):
+        # order: w0=[1], w1=[2], w0 gets 3 at t=1 -> finishes 4
+        assert list_schedule_makespan([1.0, 2.0, 3.0], 2) == pytest.approx(4.0)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ClusterModelError):
+            list_schedule_makespan([1.0], 0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ClusterModelError):
+            list_schedule_makespan([-1.0], 2)
+
+    @given(
+        st.lists(st.floats(0.0, 10.0), max_size=50),
+        st.integers(1, 16),
+    )
+    def test_bounds(self, durs, n):
+        ms = list_schedule_makespan(durs, n)
+        total = sum(durs)
+        longest = max(durs, default=0.0)
+        # makespan is between the trivial lower bounds and the serial time
+        assert ms >= max(longest, total / n) - 1e-9
+        assert ms <= total + 1e-9
+
+    @given(st.lists(st.floats(0.01, 5.0), min_size=1, max_size=40))
+    def test_monotone_in_workers(self, durs):
+        times = [list_schedule_makespan(durs, n) for n in (1, 2, 4, 8)]
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))
+
+
+class TestReplay:
+    def make_record(self, n_tasks=10, dur=1.0, **kw):
+        return StageRecord(label="s", task_durations=[dur] * n_tasks, **kw)
+
+    def test_spark_stage_components(self):
+        spec = ClusterSpec(nodes=2, cores_per_node=2)
+        rec = self.make_record(n_tasks=8, input_bytes=10**7, shuffle_bytes=10**6)
+        sim = simulate_spark_stage(rec, spec)
+        assert sim.compute_s == pytest.approx(2.0)  # 8 tasks / 4 cores
+        assert sim.io_s > 0
+        assert sim.network_s > 0
+        assert sim.total_s > sim.compute_s
+
+    def test_mr_job_includes_startup(self):
+        spec = ClusterSpec()
+        run = simulate_mr_job(self.make_record(), self.make_record(), spec)
+        assert run.total_s >= spec.mr_job_startup_s
+
+    def test_mr_run_chains_jobs(self):
+        spec = ClusterSpec()
+        jobs = [(self.make_record(), self.make_record())] * 3
+        run = simulate_mr_run(jobs, spec)
+        assert run.total_s >= 3 * spec.mr_job_startup_s
+
+    def test_mr_task_overhead_dominates_tiny_tasks(self):
+        spec = ClusterSpec(nodes=1, cores_per_node=1)
+        rec = self.make_record(n_tasks=10, dur=0.001)
+        sim_mr = simulate_mr_job(rec, StageRecord("r", []), spec)
+        # 10 tasks x (0.001 + 0.15) + startup
+        assert sim_mr.total_s >= 10 * spec.mr_task_overhead_s
+
+    def test_speedup_curve_monotone(self):
+        rec = self.make_record(n_tasks=96, dur=1.0)
+        curve = speedup_curve(
+            lambda spec: simulate_spark_run([rec], spec),
+            ClusterSpec(),
+            [4, 6, 8, 10, 12],
+        )
+        cores = [c for c, _ in curve]
+        times = [t for _, t in curve]
+        assert cores == [32, 48, 64, 80, 96]
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_near_linear_speedup_for_cpu_bound(self):
+        # 960 equal CPU-bound tasks: doubling cores should nearly halve time.
+        rec = StageRecord(label="cpu", task_durations=[0.5] * 960)
+        t4 = simulate_spark_run([rec], ClusterSpec(nodes=4)).total_s
+        t8 = simulate_spark_run([rec], ClusterSpec(nodes=8)).total_s
+        assert t4 / t8 == pytest.approx(2.0, rel=0.1)
+
+    def test_stage_totals_grouping(self):
+        spec = ClusterSpec()
+        recs = [
+            StageRecord(label="a", task_durations=[1.0]),
+            StageRecord(label="a", task_durations=[1.0]),
+            StageRecord(label="b", task_durations=[2.0]),
+        ]
+        run = simulate_spark_run(recs, spec)
+        totals = run.stage_totals()
+        assert set(totals) == {"a", "b"}
+        assert totals["a"] > totals["b"] * 0.9  # 2x1s vs 1x2s, plus overheads

@@ -1,0 +1,132 @@
+"""Discrete-event simulator tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec, list_schedule_makespan
+from repro.cluster.events import (
+    SimTask,
+    simulate_stage_events,
+    straggler_sensitivity,
+)
+from repro.common.errors import ClusterModelError
+
+
+def make_tasks(durations, **kw):
+    return [SimTask(duration_s=d, **kw) for d in durations]
+
+
+class TestBasics:
+    def test_empty(self):
+        stats = simulate_stage_events([], ClusterSpec())
+        assert stats.makespan_s == 0.0
+
+    def test_single_task(self):
+        stats = simulate_stage_events(make_tasks([2.5]), ClusterSpec(nodes=2, cores_per_node=2))
+        assert stats.makespan_s == pytest.approx(2.5)
+
+    def test_serial_on_one_core(self):
+        spec = ClusterSpec(nodes=1, cores_per_node=1)
+        stats = simulate_stage_events(make_tasks([1.0, 2.0, 3.0]), spec)
+        assert stats.makespan_s == pytest.approx(6.0)
+
+    def test_parallel_when_cores_suffice(self):
+        spec = ClusterSpec(nodes=2, cores_per_node=2)
+        stats = simulate_stage_events(make_tasks([1.0, 1.0, 1.0, 1.0]), spec)
+        assert stats.makespan_s == pytest.approx(1.0)
+
+    def test_invalid_task(self):
+        with pytest.raises(ClusterModelError):
+            SimTask(duration_s=-1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ClusterModelError):
+            simulate_stage_events(make_tasks([1.0]), ClusterSpec(), straggler_factor=0.5)
+        with pytest.raises(ClusterModelError):
+            simulate_stage_events(make_tasks([1.0]), ClusterSpec(), straggler_rate=1.5)
+
+    def test_utilization_bounds(self):
+        spec = ClusterSpec(nodes=2, cores_per_node=2)
+        stats = simulate_stage_events(make_tasks([1.0] * 8), spec)
+        assert 0.0 < stats.utilization <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(0.01, 5.0), min_size=1, max_size=40),
+        st.integers(1, 4),
+        st.integers(1, 4),
+    )
+    def test_agrees_with_list_schedule_without_stragglers(self, durs, nodes, cores):
+        """No stragglers, no I/O: event simulation == greedy list schedule."""
+        spec = ClusterSpec(nodes=nodes, cores_per_node=cores)
+        got = simulate_stage_events(make_tasks(durs), spec).makespan_s
+        want = list_schedule_makespan(durs, nodes * cores)
+        assert got == pytest.approx(want, rel=1e-9)
+
+
+class TestStragglers:
+    def test_deterministic(self):
+        spec = ClusterSpec(nodes=2, cores_per_node=2)
+        tasks = make_tasks([1.0] * 20)
+        a = simulate_stage_events(tasks, spec, straggler_rate=0.2, straggler_factor=4, seed=3)
+        b = simulate_stage_events(tasks, spec, straggler_rate=0.2, straggler_factor=4, seed=3)
+        assert a.makespan_s == b.makespan_s
+        assert a.straggled_tasks == b.straggled_tasks
+
+    def test_stragglers_stretch_makespan(self):
+        spec = ClusterSpec(nodes=2, cores_per_node=2)
+        tasks = make_tasks([1.0] * 40)
+        clean = simulate_stage_events(tasks, spec).makespan_s
+        slow = simulate_stage_events(
+            tasks, spec, straggler_rate=0.3, straggler_factor=5, seed=1
+        )
+        assert slow.makespan_s > clean
+        assert slow.straggled_tasks > 0
+
+    def test_sensitivity_curve_monotone_overall(self):
+        spec = ClusterSpec(nodes=2, cores_per_node=4)
+        tasks = make_tasks([0.5] * 64)
+        curve = straggler_sensitivity(tasks, spec, [0.0, 0.2, 0.6, 1.0], seed=2)
+        times = [t for _r, t in curve]
+        assert times[0] < times[-1]
+        assert times[-1] == pytest.approx(times[0] * 5, rel=0.2)  # all tasks x5
+
+
+class TestLocality:
+    def test_local_read_free_remote_pays(self):
+        spec = ClusterSpec(nodes=2, cores_per_node=1, network_mbps=1.0)
+        nbytes = 10**6  # 1 s over the 1 MB/s network
+        local = simulate_stage_events(
+            [SimTask(1.0, input_bytes=nbytes, preferred_nodes=(0,))], spec
+        )
+        remote = simulate_stage_events(
+            [SimTask(1.0, input_bytes=nbytes, preferred_nodes=(99,))], spec
+        )
+        assert local.makespan_s == pytest.approx(1.0)
+        assert remote.makespan_s == pytest.approx(2.0)
+        assert local.locality_hits == 1 and remote.locality_misses == 1
+
+    def test_scheduler_prefers_local_node(self):
+        spec = ClusterSpec(nodes=3, cores_per_node=1, network_mbps=1.0)
+        tasks = [
+            SimTask(1.0, input_bytes=10**6, preferred_nodes=(i % 3,)) for i in range(9)
+        ]
+        stats = simulate_stage_events(tasks, spec)
+        assert stats.locality_rate == 1.0  # every task found its node
+
+    def test_locality_rate_with_no_io(self):
+        stats = simulate_stage_events(make_tasks([1.0] * 3), ClusterSpec())
+        assert stats.locality_rate == 1.0  # vacuous
+
+    def test_busy_local_node_falls_back_to_remote(self):
+        spec = ClusterSpec(nodes=2, cores_per_node=1, network_mbps=1.0)
+        # both tasks prefer node 0; the second must go remote
+        tasks = [
+            SimTask(5.0, input_bytes=10**6, preferred_nodes=(0,)),
+            SimTask(1.0, input_bytes=10**6, preferred_nodes=(0,)),
+        ]
+        stats = simulate_stage_events(tasks, spec)
+        assert stats.locality_hits == 1
+        assert stats.locality_misses == 1
+        assert stats.makespan_s == pytest.approx(5.0)  # remote task: 1+1=2 < 5

@@ -1,0 +1,147 @@
+"""Unit tests for canonical itemset helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import itemset as its
+
+
+class TestCanonical:
+    def test_sorts_and_dedupes(self):
+        assert its.canonical([3, 1, 2, 3]) == (1, 2, 3)
+
+    def test_empty(self):
+        assert its.canonical([]) == ()
+
+    def test_strings(self):
+        assert its.canonical(["b", "a", "b"]) == ("a", "b")
+
+    def test_transaction_alias(self):
+        assert its.canonical_transaction([5, 5, 1]) == (1, 5)
+
+    @given(st.lists(st.integers(-50, 50)))
+    def test_always_canonical(self, xs):
+        assert its.is_canonical(its.canonical(xs))
+
+    @given(st.lists(st.integers(-50, 50)))
+    def test_idempotent(self, xs):
+        c = its.canonical(xs)
+        assert its.canonical(c) == c
+
+
+class TestIsCanonical:
+    def test_ascending_true(self):
+        assert its.is_canonical((1, 2, 9))
+
+    def test_duplicate_false(self):
+        assert not its.is_canonical((1, 1, 2))
+
+    def test_descending_false(self):
+        assert not its.is_canonical((3, 2))
+
+    def test_empty_and_singleton(self):
+        assert its.is_canonical(())
+        assert its.is_canonical((7,))
+
+
+class TestSubsets:
+    def test_k_minus_1_of_triple(self):
+        assert its.subsets_k_minus_1((1, 2, 3)) == [(2, 3), (1, 3), (1, 2)]
+
+    def test_k_minus_1_of_pair(self):
+        assert its.subsets_k_minus_1((4, 9)) == [(9,), (4,)]
+
+    @given(st.sets(st.integers(0, 30), min_size=1, max_size=6))
+    def test_count_and_membership(self, s):
+        iset = its.canonical(s)
+        subs = its.subsets_k_minus_1(iset)
+        assert len(subs) == len(iset)
+        for sub in subs:
+            assert len(sub) == len(iset) - 1
+            assert set(sub) <= set(iset)
+        assert len(set(subs)) == len(subs)
+
+
+class TestJoinPrefix:
+    def test_joins_shared_prefix(self):
+        assert its.join_prefix((1, 2), (1, 3)) == (1, 2, 3)
+
+    def test_rejects_unordered_last(self):
+        assert its.join_prefix((1, 3), (1, 2)) is None
+
+    def test_rejects_different_prefix(self):
+        assert its.join_prefix((1, 2), (2, 3)) is None
+
+    def test_singletons(self):
+        assert its.join_prefix((1,), (2,)) == (1, 2)
+        assert its.join_prefix((2,), (1,)) is None
+
+
+class TestContains:
+    def test_positive(self):
+        assert its.contains((1, 2, 3, 7, 9), (2, 9))
+
+    def test_negative(self):
+        assert not its.contains((1, 2, 3), (2, 4))
+
+    def test_empty_candidate(self):
+        assert its.contains((1, 2), ())
+
+    def test_candidate_longer_than_transaction(self):
+        assert not its.contains((1,), (1, 2))
+
+    @given(
+        st.sets(st.integers(0, 40), max_size=15),
+        st.sets(st.integers(0, 40), max_size=6),
+    )
+    def test_matches_set_semantics(self, txn, cand):
+        t, c = its.canonical(txn), its.canonical(cand)
+        assert its.contains(t, c) == (set(c) <= set(t))
+
+
+class TestSupportMath:
+    def test_fraction(self):
+        assert its.support_fraction(3, 4) == pytest.approx(0.75)
+
+    def test_fraction_rejects_zero_n(self):
+        with pytest.raises(ValueError):
+            its.support_fraction(1, 0)
+
+    def test_min_count_exact(self):
+        # 35% of 200 = 70 exactly
+        assert its.min_support_count(0.35, 200) == 70
+
+    def test_min_count_rounds_up(self):
+        assert its.min_support_count(0.5, 5) == 3
+
+    def test_min_count_at_least_one(self):
+        assert its.min_support_count(0.0001, 10) == 1
+
+    def test_min_count_rejects_zero_support(self):
+        with pytest.raises(ValueError):
+            its.min_support_count(0.0, 10)
+        with pytest.raises(ValueError):
+            its.min_support_count(1.5, 10)
+
+    @given(
+        st.floats(0.001, 1.0),
+        st.integers(1, 10_000),
+    )
+    def test_threshold_consistent(self, sup, n):
+        thr = its.min_support_count(sup, n)
+        assert 1 <= thr <= n + 1
+        # counts >= thr really have relative support >= sup (up to fp dust)
+        assert thr / n >= sup - 1e-6
+        # thr is minimal: one less would fall below the threshold
+        if thr > 1:
+            assert (thr - 1) / n < sup + 1e-9
+
+    def test_ceil_behaviour_matches_math(self):
+        for n in (1, 7, 100, 8124):
+            for sup in (0.25, 1 / 3, 0.85):
+                assert its.min_support_count(sup, n) == max(
+                    1, math.ceil(sup * n - 1e-9)
+                )

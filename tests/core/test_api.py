@@ -1,0 +1,58 @@
+"""Unified API tests (`mine_frequent_itemsets`)."""
+
+import pytest
+
+from repro import mine_frequent_itemsets
+from repro.algorithms import apriori
+from repro.common.errors import MiningError
+
+TXNS = [
+    [1, 2],
+    [1, 3, 4, 5],
+    [2, 3, 4, 6],
+    [1, 2, 3, 4],
+    [1, 2, 3, 6],
+] * 6
+
+ORACLE = apriori(TXNS, 0.4)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "algorithm", ["yafim", "apriori", "eclat", "fpgrowth", "mrapriori"]
+    )
+    def test_all_algorithms_agree(self, algorithm):
+        got = mine_frequent_itemsets(TXNS, 0.4, algorithm=algorithm, backend="serial")
+        assert got.itemsets == ORACLE
+        assert got.algorithm == algorithm
+        assert got.n_transactions == len(TXNS)
+
+    def test_default_is_yafim(self):
+        got = mine_frequent_itemsets(TXNS, 0.4, backend="serial")
+        assert got.algorithm == "yafim"
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(MiningError):
+            mine_frequent_itemsets(TXNS, 0.4, algorithm="magic")
+
+    def test_max_length_forwarded(self):
+        got = mine_frequent_itemsets(TXNS, 0.4, algorithm="yafim", backend="serial", max_length=1)
+        assert got.max_level == 1
+
+    def test_mrapriori_restores_int_items(self):
+        got = mine_frequent_itemsets(TXNS, 0.4, algorithm="mrapriori")
+        assert all(isinstance(i, int) for k in got.itemsets for i in k)
+
+    def test_num_itemsets_property(self):
+        got = mine_frequent_itemsets(TXNS, 0.4, algorithm="apriori")
+        assert got.num_itemsets == len(ORACLE)
+
+    def test_threads_backend(self):
+        got = mine_frequent_itemsets(TXNS, 0.4, backend="threads", parallelism=3)
+        assert got.itemsets == ORACLE
+
+    def test_package_level_reexport(self):
+        import repro
+
+        assert repro.mine_frequent_itemsets is mine_frequent_itemsets
+        assert repro.MiningResult is not None

@@ -1,0 +1,88 @@
+"""Tests for apriori_gen (join + prune)."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import apriori_gen, join_step, prune_step
+
+
+class TestJoinStep:
+    def test_shared_prefix_joins(self):
+        assert join_step([(1, 2), (1, 3)]) == [(1, 2, 3)]
+
+    def test_different_prefix_does_not_join(self):
+        assert join_step([(1, 2), (2, 3)]) == []
+
+    def test_group_of_three(self):
+        got = join_step([(1, 2), (1, 3), (1, 4)])
+        assert got == [(1, 2, 3), (1, 2, 4), (1, 3, 4)]
+
+    def test_empty(self):
+        assert join_step([]) == []
+
+
+class TestPruneStep:
+    def test_keeps_closed_candidate(self):
+        prev = {(1, 2), (1, 3), (2, 3)}
+        assert prune_step([(1, 2, 3)], prev) == [(1, 2, 3)]
+
+    def test_drops_open_candidate(self):
+        prev = {(1, 2), (1, 3)}
+        assert prune_step([(1, 2, 3)], prev) == []
+
+
+class TestAprioriGen:
+    def test_level2_is_all_pairs(self):
+        got = apriori_gen([(1,), (3,), (2,)])
+        assert got == [(1, 2), (1, 3), (2, 3)]
+
+    def test_triangle(self):
+        assert apriori_gen([(1, 2), (1, 3), (2, 3)]) == [(1, 2, 3)]
+
+    def test_pruned_triangle(self):
+        assert apriori_gen([(1, 2), (1, 3), (2, 4)]) == []
+
+    def test_empty_input(self):
+        assert apriori_gen([]) == []
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            apriori_gen([(1,), (1, 2)])
+
+    def test_string_items(self):
+        got = apriori_gen([("a", "b"), ("a", "c"), ("b", "c")])
+        assert got == [("a", "b", "c")]
+
+    def test_output_sorted_and_unique(self):
+        prev = [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+        got = apriori_gen(prev)
+        assert got == sorted(set(got))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.sets(st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=20))
+    def test_completeness_property(self, raw):
+        """Every k-set whose (k-1)-subsets are all in the input must be
+        generated — the guarantee Apriori's correctness rests on."""
+        prev = sorted({tuple(sorted(set(p))) for p in raw if len(set(p)) == 2})
+        if not prev:
+            return
+        got = set(apriori_gen(prev))
+        prev_set = set(prev)
+        items = sorted({i for p in prev for i in p})
+        for cand in combinations(items, 3):
+            closed = all(sub in prev_set for sub in combinations(cand, 2))
+            assert (cand in got) == closed
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.integers(0, 12), min_size=1, max_size=8))
+    def test_full_lattice_level(self, items):
+        """If EVERY (k-1)-set over `items` is frequent, apriori_gen must
+        produce exactly every k-set."""
+        items = sorted(items)
+        for k in range(2, min(len(items), 4) + 1):
+            prev = list(combinations(items, k - 1))
+            got = apriori_gen(prev)
+            assert got == list(combinations(items, k))

@@ -1,0 +1,106 @@
+"""CLI tests (`python -m repro ...`)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mine_requires_support(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mine", "--dataset", "chess"])
+
+    def test_mine_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mine", "--dataset", "chess", "--support", "0.5", "--algorithm", "nope"]
+            )
+
+
+class TestMine:
+    def test_mine_generated_dataset(self, capsys):
+        rc = main(
+            [
+                "mine",
+                "--dataset", "medical",
+                "--scale", "0.05",
+                "--support", "0.2",
+                "--backend", "serial",
+                "--top", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "frequent itemsets" in out
+
+    def test_mine_input_file(self, tmp_path, capsys):
+        data = tmp_path / "t.dat"
+        data.write_text("a b\na b c\nb c\n")
+        rc = main(
+            ["mine", "--input", str(data), "--support", "0.5", "--backend", "serial"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "b" in out
+
+    def test_mine_with_rules(self, tmp_path, capsys):
+        data = tmp_path / "t.dat"
+        data.write_text("a b\na b\na b\nb\n")
+        rc = main(
+            [
+                "mine", "--input", str(data), "--support", "0.5",
+                "--backend", "serial", "--rules", "0.8",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "=>" in out
+
+    def test_mine_without_source_exits(self):
+        with pytest.raises(SystemExit):
+            main(["mine", "--support", "0.5"])
+
+    def test_unknown_dataset_exits(self):
+        with pytest.raises(SystemExit):
+            main(["mine", "--dataset", "nope", "--support", "0.5"])
+
+
+class TestGenerate:
+    def test_generate_writes_file(self, tmp_path, capsys):
+        out_file = tmp_path / "chess.dat"
+        rc = main(
+            ["generate", "--dataset", "chess", "--scale", "0.07", "--out", str(out_file)]
+        )
+        assert rc == 0
+        lines = out_file.read_text().splitlines()
+        assert len(lines) >= 200
+        assert all(line.strip() for line in lines)
+
+    def test_generated_file_is_minable(self, tmp_path, capsys):
+        out_file = tmp_path / "m.dat"
+        main(["generate", "--dataset", "mushroom", "--scale", "0.03", "--out", str(out_file)])
+        rc = main(
+            [
+                "mine", "--input", str(out_file), "--support", "0.6",
+                "--algorithm", "fpgrowth",
+            ]
+        )
+        assert rc == 0
+
+
+class TestCompare:
+    def test_compare_prints_table(self, capsys):
+        rc = main(
+            [
+                "compare", "--dataset", "medical", "--scale", "0.05",
+                "--support", "0.15", "--max-length", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "speedup" in out
+        assert "outputs identical: True" in out

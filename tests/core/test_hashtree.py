@@ -1,0 +1,129 @@
+"""Hash-tree unit and property tests."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.itemset import contains
+from repro.core.hashtree import HashTree
+
+
+def brute_subset(candidates, txn):
+    return sorted(c for c in candidates if contains(tuple(txn), c))
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = HashTree()
+        assert len(tree) == 0
+        assert tree.subset((1, 2, 3)) == []
+
+    def test_insert_and_len(self):
+        tree = HashTree([(1, 2), (3, 4)])
+        assert len(tree) == 2
+        assert set(tree) == {(1, 2), (3, 4)}
+
+    def test_mixed_length_rejected(self):
+        tree = HashTree([(1, 2)])
+        with pytest.raises(ValueError):
+            tree.insert((1, 2, 3))
+
+    def test_empty_itemset_rejected(self):
+        with pytest.raises(ValueError):
+            HashTree([()])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HashTree(fanout=1)
+        with pytest.raises(ValueError):
+            HashTree(max_leaf_size=0)
+
+    def test_split_on_overflow(self):
+        cands = list(combinations(range(12), 3))
+        tree = HashTree(cands, fanout=4, max_leaf_size=4)
+        stats = tree.stats()
+        assert stats["candidates"] == len(cands)
+        assert stats["max_depth"] >= 1
+        assert set(tree) == set(cands)
+
+    def test_contains_candidate(self):
+        cands = list(combinations(range(10), 2))
+        tree = HashTree(cands, fanout=4, max_leaf_size=3)
+        for c in cands:
+            assert tree.contains_candidate(c)
+        assert not tree.contains_candidate((99, 100))
+
+
+class TestSubset:
+    def test_simple_match(self):
+        tree = HashTree([(1, 2), (2, 3), (4, 5)])
+        assert tree.subset((1, 2, 3)) == brute_subset([(1, 2), (2, 3), (4, 5)], (1, 2, 3))
+
+    def test_short_transaction(self):
+        tree = HashTree([(1, 2, 3)])
+        assert tree.subset((1, 2)) == []
+
+    def test_no_duplicates_with_colliding_items(self):
+        # items 2 and 10 collide mod 8 — the historical duplicate bug
+        tree = HashTree([(2, 5)], fanout=8)
+        got = tree.subset((2, 5, 10))
+        assert got == [(2, 5)]
+
+    def test_string_items(self):
+        tree = HashTree([("a", "b"), ("b", "c")])
+        assert sorted(tree.subset(("a", "b", "c"))) == [("a", "b"), ("b", "c")]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        cands=st.sets(
+            st.tuples(st.integers(0, 20), st.integers(0, 20), st.integers(0, 20)),
+            max_size=40,
+        ),
+        txn=st.sets(st.integers(0, 20), max_size=12),
+        fanout=st.sampled_from([2, 4, 8, 64]),
+        leaf=st.sampled_from([1, 2, 8]),
+    )
+    def test_matches_brute_force_property(self, cands, txn, fanout, leaf):
+        cands = {tuple(sorted(set(c))) for c in cands}
+        cands = {c for c in cands if len(c) == 3}
+        if not cands:
+            return
+        tree = HashTree(cands, fanout=fanout, max_leaf_size=leaf)
+        txn_sorted = tuple(sorted(txn))
+        assert sorted(tree.subset(txn_sorted)) == brute_subset(cands, txn_sorted)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_iteration_preserves_all_candidates(self, data):
+        k = data.draw(st.integers(1, 4))
+        cands = data.draw(
+            st.sets(
+                st.tuples(*[st.integers(0, 15)] * k).map(
+                    lambda t: tuple(sorted(set(t)))
+                ),
+                max_size=30,
+            )
+        )
+        cands = {c for c in cands if len(c) == k}
+        if not cands:
+            return
+        tree = HashTree(cands, fanout=4, max_leaf_size=2)
+        assert set(tree) == cands
+        assert len(tree) == len(cands)
+
+    def test_subset_of_full_transaction_returns_everything(self):
+        cands = list(combinations(range(8), 3))
+        tree = HashTree(cands, fanout=4, max_leaf_size=4)
+        assert sorted(tree.subset(tuple(range(8)))) == cands
+
+
+class TestStats:
+    def test_stats_keys(self):
+        tree = HashTree(list(combinations(range(10), 2)), fanout=4, max_leaf_size=3)
+        stats = tree.stats()
+        assert stats["candidates"] == 45
+        assert stats["leaves"] >= 1
+        assert stats["largest_leaf"] >= 1
+        assert 0 <= stats["mean_leaf_depth"] <= stats["max_depth"]

@@ -1,0 +1,75 @@
+"""One-phase MapReduce FIM tests."""
+
+import pytest
+
+from repro.algorithms import apriori
+from repro.common.errors import MiningError
+from repro.core import SPC
+from repro.core.one_phase import OnePhaseMR
+from repro.hdfs import MiniDfs
+from repro.mapreduce import JobRunner
+
+TXNS = [
+    ["bread", "milk"],
+    ["bread", "diaper", "beer", "eggs"],
+    ["milk", "diaper", "beer", "cola"],
+    ["bread", "milk", "diaper", "beer"],
+    ["bread", "milk", "diaper", "cola"],
+] * 6
+
+
+@pytest.fixture()
+def dfs(tmp_path):
+    with MiniDfs(root_dir=str(tmp_path), n_datanodes=3, block_size=512, replication=1) as d:
+        d.write_lines("/t.txt", (" ".join(sorted(set(t))) for t in TXNS))
+        yield d
+
+
+class TestOnePhase:
+    def test_matches_oracle_up_to_cap(self, dfs):
+        got = OnePhaseMR(JobRunner(dfs), max_length=3).run("/t.txt", 0.4)
+        want = {k: v for k, v in apriori(TXNS, 0.4).items() if len(k) <= 3}
+        assert got.itemsets == want
+        assert got.n_transactions == len(TXNS)
+
+    def test_single_job(self, dfs):
+        runner = JobRunner(dfs)
+        OnePhaseMR(runner, max_length=2).run("/t.txt", 0.4)
+        assert runner.jobs_run == 1
+
+    def test_matches_spc(self, dfs):
+        cap = 3
+        one = OnePhaseMR(JobRunner(dfs), max_length=cap).run("/t.txt", 0.4)
+        spc = SPC(JobRunner(dfs)).run("/t.txt", 0.4, max_length=cap)
+        assert one.itemsets == spc.itemsets
+
+    def test_counts_far_more_than_spc(self, dfs):
+        """The paper's criticism: one-phase counts every subset, k-phase
+        only counts candidates surviving apriori_gen."""
+        cap = 3
+        one = OnePhaseMR(JobRunner(dfs), max_length=cap).run("/t.txt", 0.4)
+        spc = SPC(JobRunner(dfs)).run("/t.txt", 0.4, max_length=cap)
+        one_counted = one.iterations[0].n_candidates
+        spc_counted = sum(
+            it.n_candidates for it in spc.iterations if it.n_candidates > 0
+        )
+        assert one_counted > 2 * spc_counted
+
+    def test_shuffle_volume_blowup(self, dfs):
+        cap = 3
+        one = OnePhaseMR(JobRunner(dfs), max_length=cap).run("/t.txt", 0.4)
+        spc = SPC(JobRunner(dfs)).run("/t.txt", 0.4, max_length=cap)
+        spc_shuffle = sum(it.shuffle_bytes for it in spc.iterations)
+        assert one.iterations[0].shuffle_bytes > spc_shuffle
+
+    def test_invalid_params(self, dfs):
+        with pytest.raises(MiningError):
+            OnePhaseMR(JobRunner(dfs), max_length=0)
+        with pytest.raises(MiningError):
+            OnePhaseMR(JobRunner(dfs)).run("/t.txt", 0.0)
+
+    def test_reruns(self, dfs):
+        miner = OnePhaseMR(JobRunner(dfs), max_length=2)
+        a = miner.run("/t.txt", 0.4)
+        b = miner.run("/t.txt", 0.4)
+        assert a.itemsets == b.itemsets

@@ -1,0 +1,84 @@
+"""Association-rule generation tests."""
+
+import pytest
+
+from repro.algorithms import apriori
+from repro.common.errors import MiningError
+from repro.core.rules import AssociationRule, generate_rules, top_rules
+
+TXNS = [
+    ["bread", "milk"],
+    ["bread", "diaper", "beer", "eggs"],
+    ["milk", "diaper", "beer", "cola"],
+    ["bread", "milk", "diaper", "beer"],
+    ["bread", "milk", "diaper", "cola"],
+]
+
+
+@pytest.fixture()
+def itemsets():
+    return apriori(TXNS, 0.4)
+
+
+class TestGenerateRules:
+    def test_known_rule_metrics(self, itemsets):
+        rules = generate_rules(itemsets, len(TXNS), min_confidence=0.0)
+        by_pair = {(r.antecedent, r.consequent): r for r in rules}
+        rule = by_pair[(("beer",), ("diaper",))]
+        # beer appears 3 times, always with diaper
+        assert rule.confidence == pytest.approx(1.0)
+        assert rule.support == pytest.approx(3 / 5)
+        assert rule.lift == pytest.approx(1.0 / (4 / 5))
+
+    def test_min_confidence_filters(self, itemsets):
+        all_rules = generate_rules(itemsets, len(TXNS), min_confidence=0.0)
+        strict = generate_rules(itemsets, len(TXNS), min_confidence=0.9)
+        assert len(strict) < len(all_rules)
+        assert all(r.confidence >= 0.9 for r in strict)
+
+    def test_min_lift_filters(self, itemsets):
+        rules = generate_rules(itemsets, len(TXNS), min_confidence=0.0, min_lift=1.1)
+        assert all(r.lift >= 1.1 for r in rules)
+
+    def test_sorted_by_confidence(self, itemsets):
+        rules = generate_rules(itemsets, len(TXNS), min_confidence=0.0)
+        confs = [r.confidence for r in rules]
+        assert confs == sorted(confs, reverse=True)
+
+    def test_antecedent_consequent_partition_itemset(self, itemsets):
+        for r in generate_rules(itemsets, len(TXNS), min_confidence=0.0):
+            whole = tuple(sorted(r.antecedent + r.consequent))
+            assert whole in itemsets
+            assert not set(r.antecedent) & set(r.consequent)
+
+    def test_multiway_rules_from_triples(self):
+        txns = [["a", "b", "c"]] * 10
+        itemsets = apriori(txns, 0.5)
+        rules = generate_rules(itemsets, 10, min_confidence=0.5)
+        antecedent_sizes = {len(r.antecedent) for r in rules}
+        assert antecedent_sizes == {1, 2}
+
+    def test_rejects_non_closed_map(self):
+        with pytest.raises(MiningError):
+            generate_rules({("a", "b"): 3}, 10, min_confidence=0.0)
+
+    def test_rejects_bad_params(self, itemsets):
+        with pytest.raises(MiningError):
+            generate_rules(itemsets, 0)
+        with pytest.raises(MiningError):
+            generate_rules(itemsets, 5, min_confidence=1.5)
+
+    def test_no_rules_from_singletons_only(self):
+        rules = generate_rules({("a",): 5, ("b",): 3}, 10)
+        assert rules == []
+
+
+class TestPresentation:
+    def test_top_rules(self, itemsets):
+        rules = generate_rules(itemsets, len(TXNS), min_confidence=0.0)
+        assert top_rules(rules, 3) == rules[:3]
+
+    def test_str_contains_metrics(self):
+        rule = AssociationRule(("a",), ("b",), 0.5, 0.8, 1.2)
+        text = str(rule)
+        assert "a" in text and "b" in text and "0.800" in text

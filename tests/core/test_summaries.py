@@ -1,0 +1,135 @@
+"""Closed/maximal itemsets and negative-border tests."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import apriori
+from repro.common.errors import MiningError
+from repro.core.summaries import (
+    closed_itemsets,
+    maximal_itemsets,
+    negative_border,
+    support_of,
+)
+
+TXNS = [
+    ["a", "b", "c"],
+    ["a", "b", "c"],
+    ["a", "b"],
+    ["a", "c"],
+    ["d"],
+] * 2
+
+
+@pytest.fixture()
+def frequent():
+    return apriori(TXNS, 0.3)
+
+
+def brute_maximal(itemsets):
+    return {
+        k: v
+        for k, v in itemsets.items()
+        if not any(set(k) < set(o) for o in itemsets)
+    }
+
+
+def brute_closed(itemsets):
+    return {
+        k: v
+        for k, v in itemsets.items()
+        if not any(set(k) < set(o) and itemsets[o] == v for o in itemsets)
+    }
+
+
+class TestMaximal:
+    def test_matches_brute_force(self, frequent):
+        assert maximal_itemsets(frequent) == brute_maximal(frequent)
+
+    def test_abc_is_maximal(self, frequent):
+        maximal = maximal_itemsets(frequent)
+        assert ("a", "b", "c") in maximal
+        assert ("a", "b") not in maximal
+
+    def test_isolated_singleton_is_maximal(self):
+        freq = apriori(TXNS, 0.2)  # 'd' (support 0.2) is frequent here
+        assert ("d",) in maximal_itemsets(freq)
+
+    def test_empty(self):
+        assert maximal_itemsets({}) == {}
+
+    def test_type_check(self):
+        with pytest.raises(MiningError):
+            maximal_itemsets([("a",)])
+
+
+class TestClosed:
+    def test_matches_brute_force(self, frequent):
+        assert closed_itemsets(frequent) == brute_closed(frequent)
+
+    def test_non_closed_dropped(self):
+        # b always co-occurs with a: (b,) has the same support as (a, b)
+        txns = [["a", "b"], ["a", "b"], ["a"]]
+        freq = apriori(txns, 0.3)
+        closed = closed_itemsets(freq)
+        assert ("b",) not in closed
+        assert ("a", "b") in closed
+        assert ("a",) in closed  # higher support than (a, b)
+
+    def test_closed_superset_of_maximal(self, frequent):
+        closed = set(closed_itemsets(frequent))
+        maximal = set(maximal_itemsets(frequent))
+        assert maximal <= closed
+
+    def test_support_recovery(self, frequent):
+        closed = closed_itemsets(frequent)
+        for iset, count in frequent.items():
+            assert support_of(iset, closed) == count
+
+    def test_support_of_infrequent_is_zero(self, frequent):
+        closed = closed_itemsets(frequent)
+        assert support_of(("z",), closed) == 0
+
+
+class TestNegativeBorder:
+    def test_border_members_minimal_infrequent(self, frequent):
+        border = negative_border(frequent)
+        for iset in border:
+            assert iset not in frequent
+            for sub in combinations(iset, len(iset) - 1):
+                if sub:
+                    assert sub in frequent
+
+    def test_explicit_universe_adds_infrequent_singletons(self, frequent):
+        border = negative_border(frequent, items=["a", "b", "z"])
+        assert ("z",) in border
+
+    def test_simple_case(self):
+        txns = [["a"], ["b"], ["a", "b"]] * 5
+        freq = apriori(txns, 0.5)  # a, b frequent; (a, b) support 1/3 infrequent
+        assert negative_border(freq) == [("a", "b")]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.lists(st.integers(0, 6), min_size=1, max_size=5), min_size=1, max_size=15),
+        st.floats(0.15, 0.9),
+    )
+    def test_border_disjoint_from_frequent(self, txns, sup):
+        freq = apriori(txns, sup)
+        border = set(negative_border(freq))
+        assert not border & set(freq)
+
+
+class TestPropertyAgainstBruteForce:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.lists(st.integers(0, 6), min_size=1, max_size=5), min_size=1, max_size=15),
+        st.floats(0.15, 0.9),
+    )
+    def test_maximal_and_closed(self, txns, sup):
+        freq = apriori(txns, sup)
+        assert maximal_itemsets(freq) == brute_maximal(freq)
+        assert closed_itemsets(freq) == brute_closed(freq)

@@ -1,0 +1,78 @@
+"""Top-K mining tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import apriori
+from repro.common.errors import MiningError
+from repro.core.topk import mine_top_k
+
+TXNS = [
+    ["a", "b", "c"],
+    ["a", "b"],
+    ["a", "b"],
+    ["a", "c"],
+    ["b"],
+] * 4
+
+
+class TestMineTopK:
+    def test_best_first(self):
+        top = mine_top_k(TXNS, k=3)
+        # by support: a=16, b=16, (a,b)=12 ... ties broken canonically
+        assert top.itemsets[0] == (("a",), 16)
+        assert top.itemsets[1] == (("b",), 16)
+        assert top.itemsets[2] == (("a", "b"), 12)
+
+    def test_exactly_k(self):
+        assert len(mine_top_k(TXNS, k=5).itemsets) == 5
+
+    def test_achieved_support(self):
+        top = mine_top_k(TXNS, k=3)
+        assert top.achieved_support == pytest.approx(12 / 20)
+
+    def test_min_length_excludes_singletons(self):
+        top = mine_top_k(TXNS, k=2, min_length=2)
+        assert all(len(iset) >= 2 for iset, _c in top.itemsets)
+        assert top.itemsets[0] == (("a", "b"), 12)
+
+    def test_max_length(self):
+        top = mine_top_k(TXNS, k=10, max_length=1)
+        assert all(len(iset) == 1 for iset, _c in top.itemsets)
+
+    def test_k_larger_than_family(self):
+        top = mine_top_k([["x", "y"]], k=50)
+        assert len(top.itemsets) == 3  # (x,), (y,), (x, y)
+
+    def test_descent_probes_recorded(self):
+        top = mine_top_k(TXNS, k=12, initial_support=0.9)
+        assert top.probes >= 2  # 0.9 cannot admit 12 itemsets immediately
+
+    def test_invalid_params(self):
+        with pytest.raises(MiningError):
+            mine_top_k(TXNS, k=0)
+        with pytest.raises(MiningError):
+            mine_top_k(TXNS, k=1, min_length=0)
+        with pytest.raises(MiningError):
+            mine_top_k(TXNS, k=1, min_length=3, max_length=2)
+        with pytest.raises(MiningError):
+            mine_top_k([], k=1)
+        with pytest.raises(MiningError):
+            mine_top_k(TXNS, k=1, descent_factor=1.0)
+
+    def test_as_dict(self):
+        top = mine_top_k(TXNS, k=2)
+        assert top.as_dict() == dict(top.itemsets)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.lists(st.integers(0, 7), min_size=1, max_size=5), min_size=1, max_size=20),
+        st.integers(1, 15),
+    )
+    def test_property_matches_full_enumeration(self, txns, k):
+        """Top-K must equal sorting the FULL itemset family by support."""
+        full = apriori(txns, 1.0 / len(txns))
+        want = sorted(full.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+        got = mine_top_k(txns, k=k).itemsets
+        assert got == want

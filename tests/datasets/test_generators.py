@@ -1,0 +1,240 @@
+"""Dataset generator tests: shapes, determinism, invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import fpgrowth, max_level
+from repro.common.errors import DatasetError
+from repro.common.itemset import is_canonical
+from repro.datasets import (
+    PAPER_TABLE_1,
+    AttributeSpec,
+    chess_like,
+    dense_dataset,
+    from_lines,
+    medical_cases,
+    mushroom_like,
+    pumsb_star_like,
+    quest_generator,
+    t10i4d100k_like,
+)
+
+
+GENERATORS = {
+    "mushroom": lambda: mushroom_like(scale=0.05, seed=1),
+    "chess": lambda: chess_like(scale=0.1, seed=1),
+    "pumsb_star": lambda: pumsb_star_like(scale=0.01, seed=1),
+    "t10i4": lambda: t10i4d100k_like(scale=0.005, seed=1),
+    "medical": lambda: medical_cases(n_cases=400, seed=1),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+class TestCommonInvariants:
+    def test_transactions_canonical(self, name):
+        ds = GENERATORS[name]()
+        for t in ds.transactions:
+            assert is_canonical(t)
+            assert len(t) >= 1
+
+    def test_deterministic_by_seed(self, name):
+        a, b = GENERATORS[name](), GENERATORS[name]()
+        assert a.transactions == b.transactions
+
+    def test_different_seed_differs(self, name):
+        make = GENERATORS[name]
+        a = make()
+        b_kwargs = dict(seed=2)
+        if name == "medical":
+            b = medical_cases(n_cases=400, **b_kwargs)
+        elif name == "t10i4":
+            b = t10i4d100k_like(scale=0.005, **b_kwargs)
+        elif name == "mushroom":
+            b = mushroom_like(scale=0.05, **b_kwargs)
+        elif name == "chess":
+            b = chess_like(scale=0.1, **b_kwargs)
+        else:
+            b = pumsb_star_like(scale=0.01, **b_kwargs)
+        assert a.transactions != b.transactions
+
+    def test_stats(self, name):
+        ds = GENERATORS[name]()
+        st_ = ds.stats()
+        assert st_.n_transactions == len(ds.transactions)
+        assert st_.avg_transaction_length <= st_.max_transaction_length
+        assert st_.n_distinct_items > 0
+
+    def test_lines_roundtrip(self, name):
+        ds = GENERATORS[name]()
+        back = from_lines(ds.name, ds.to_lines())
+        got = [tuple(sorted(t, key=str)) for t in back.transactions]
+        want = [tuple(str(i) for i in sorted(t, key=str)) for t in ds.transactions]
+        # items round-trip as strings
+        assert got == [tuple(x) for x in want]
+
+
+class TestPaperShapes:
+    @pytest.mark.parametrize(
+        "make,key",
+        [
+            (mushroom_like, "mushroom"),
+            (chess_like, "chess"),
+            (pumsb_star_like, "pumsb_star"),
+            (t10i4d100k_like, "t10i4d100k"),
+        ],
+    )
+    def test_paper_shape_attached(self, make, key):
+        ds = make(seed=0)
+        assert ds.paper_shape == PAPER_TABLE_1[key]
+
+    def test_mushroom_item_universe(self):
+        ds = mushroom_like(scale=0.1, seed=0)
+        assert ds.params["n_items"] == 119  # Table I
+
+    def test_chess_item_universe(self):
+        assert chess_like(scale=0.1, seed=0).params["n_items"] == 75
+
+    def test_pumsb_item_universe(self):
+        assert pumsb_star_like(scale=0.01, seed=0).params["n_items"] == 2088
+
+    def test_full_scale_transaction_counts(self):
+        # scale=1.0 must match Table I exactly (generate lazily, only count)
+        assert mushroom_like(scale=1.0, seed=0).n_transactions == 8124
+        assert chess_like(scale=1.0, seed=0).n_transactions == 3196
+
+    def test_mining_depth_at_paper_support(self):
+        """The generated datasets must produce multi-level runs at the
+        paper's thresholds — that's what drives Fig. 3's shape."""
+        for make, sup, min_depth in (
+            (lambda: mushroom_like(scale=0.05, seed=3), 0.35, 5),
+            (lambda: chess_like(scale=0.1, seed=3), 0.85, 6),
+            (lambda: pumsb_star_like(scale=0.01, seed=3), 0.65, 4),
+        ):
+            ds = make()
+            depth = max_level(fpgrowth(ds.transactions, sup))
+            assert depth >= min_depth, f"{ds.name}: depth {depth}"
+
+
+class TestDenseDataset:
+    def test_item_ranges(self):
+        ds = dense_dataset(
+            "x", 100, n_core=3, core_prob=0.9,
+            attributes=[AttributeSpec(4, 0.5), AttributeSpec(2, 0.6)], seed=0,
+        )
+        all_items = {i for t in ds.transactions for i in t}
+        assert all_items <= set(range(3 + 4 + 2))
+        # each transaction has at most one value per attribute
+        for t in ds.transactions:
+            attr1 = [i for i in t if 3 <= i < 7]
+            attr2 = [i for i in t if 7 <= i < 9]
+            assert len(attr1) <= 1 and len(attr2) <= 1
+
+    def test_core_prob_validated(self):
+        with pytest.raises(DatasetError):
+            dense_dataset("x", 10, n_core=2, core_prob=1.5, attributes=[], seed=0)
+
+    def test_core_items_frequency_near_prob(self):
+        ds = dense_dataset(
+            "x", 4000, n_core=4, core_prob=0.9, attributes=[AttributeSpec(3, 0.5)], seed=0
+        )
+        for core in range(4):
+            freq = sum(1 for t in ds.transactions if core in t) / 4000
+            assert 0.87 < freq < 0.93
+
+    def test_attribute_dominant_mass(self):
+        spec = AttributeSpec(5, 0.7)
+        p = spec.probabilities()
+        assert p[0] == pytest.approx(0.7)
+        assert p.sum() == pytest.approx(1.0)
+
+
+class TestQuestGenerator:
+    def test_avg_transaction_size_close(self):
+        ds = quest_generator(n_transactions=3000, avg_transaction_size=10, seed=0)
+        avg = ds.stats().avg_transaction_length
+        assert 6 < avg < 14
+
+    def test_item_universe_respected(self):
+        ds = quest_generator(n_transactions=500, n_items=50, seed=0)
+        assert all(0 <= i < 50 for t in ds.transactions for i in t)
+
+    def test_patterns_make_data_non_uniform(self):
+        """Quest data must contain correlated patterns: some frequent pair
+        should beat its independence expectation by a wide margin."""
+        n = 3000
+        ds = quest_generator(n_transactions=n, n_items=200, n_patterns=100, seed=0)
+        mined = fpgrowth(ds.transactions, 0.01)
+        singles = {k[0]: v for k, v in mined.items() if len(k) == 1}
+        lifts = [
+            v / (singles[k[0]] * singles[k[1]] / n)
+            for k, v in mined.items()
+            if len(k) == 2
+        ]
+        assert lifts, "no frequent pairs at 1% — no pattern structure"
+        assert max(lifts) > 2.0
+
+    def test_invalid_params(self):
+        with pytest.raises(DatasetError):
+            quest_generator(n_transactions=0)
+        with pytest.raises(DatasetError):
+            quest_generator(avg_transaction_size=0)
+        with pytest.raises(DatasetError):
+            t10i4d100k_like(scale=0.0)
+
+    def test_name_encodes_params(self):
+        assert quest_generator(n_transactions=500, seed=0).name == "T10I4D500"
+
+
+class TestMedical:
+    def test_vocabulary_structure(self):
+        ds = medical_cases(n_cases=300, seed=0)
+        kinds = {i[:3] for t in ds.transactions for i in t}
+        assert kinds <= {"dx0", "dx1", "sym", "med", "otc"}
+
+    def test_bundles_are_correlated(self):
+        """Each condition's medicines must co-occur far above chance."""
+        from repro.datasets.medical import default_conditions
+        from repro.common.rng import make_rng
+
+        ds = medical_cases(n_cases=3000, seed=0)
+        conditions = default_conditions(make_rng(0), 12)
+        c = conditions[0]
+        m1, m2 = c.medicines[0], c.medicines[1]
+        n = len(ds.transactions)
+        f1 = sum(1 for t in ds.transactions if m1 in t) / n
+        f2 = sum(1 for t in ds.transactions if m2 in t) / n
+        both = sum(1 for t in ds.transactions if m1 in t and m2 in t) / n
+        assert both > 1.5 * f1 * f2
+
+    def test_paper_support_recorded(self):
+        assert medical_cases(n_cases=200, seed=0).params["paper_min_support"] == 0.03
+
+
+class TestReplicationAndSubset:
+    def test_replicated_preserves_relative_supports(self):
+        ds = GENERATORS["medical"]()
+        rep = ds.replicated(3)
+        assert rep.n_transactions == 3 * ds.n_transactions
+        base = fpgrowth(ds.transactions, 0.1)
+        scaled = fpgrowth(rep.transactions, 0.1)
+        assert set(base) == set(scaled)
+        assert all(scaled[k] == 3 * base[k] for k in base)
+
+    def test_replicated_invalid(self):
+        with pytest.raises(DatasetError):
+            GENERATORS["medical"]().replicated(0)
+
+    def test_subset(self):
+        ds = GENERATORS["medical"]()
+        sub = ds.subset(10)
+        assert sub.n_transactions == 10
+        assert sub.transactions == ds.transactions[:10]
+        with pytest.raises(DatasetError):
+            ds.subset(0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 5))
+    def test_replication_factor_multiplies_length(self, factor):
+        ds = quest_generator(n_transactions=50, seed=0)
+        assert ds.replicated(factor).n_transactions == 50 * factor

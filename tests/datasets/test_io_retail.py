@@ -1,0 +1,123 @@
+"""Dataset file I/O and power-law retail generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DatasetError
+from repro.datasets import (
+    append_transactions,
+    dataset_from_dfs,
+    medical_cases,
+    read_dat,
+    retail_like,
+    write_dat,
+)
+from repro.hdfs import MiniDfs
+
+
+class TestDatIO:
+    def test_roundtrip(self, tmp_path):
+        ds = medical_cases(n_cases=50, seed=1)
+        path = str(tmp_path / "m.dat")
+        nbytes = write_dat(ds, path)
+        assert nbytes > 0
+        back = read_dat(path)
+        assert back.n_transactions == 50
+        assert back.transactions == ds.transactions  # string items both sides
+
+    def test_gzip_roundtrip(self, tmp_path):
+        ds = medical_cases(n_cases=30, seed=1)
+        path = str(tmp_path / "m.dat.gz")
+        write_dat(ds, path)
+        assert read_dat(path).transactions == ds.transactions
+
+    def test_gzip_smaller_than_plain(self, tmp_path):
+        ds = medical_cases(n_cases=500, seed=1)
+        plain = write_dat(ds, str(tmp_path / "a.dat"))
+        gz = write_dat(ds, str(tmp_path / "a.dat.gz"))
+        assert gz < plain
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_dat(str(tmp_path / "nope.dat"))
+
+    def test_append(self, tmp_path):
+        ds = medical_cases(n_cases=10, seed=1)
+        path = str(tmp_path / "a.dat")
+        write_dat(ds, path)
+        assert append_transactions(path, [["x", "y"], ["z"]]) == 2
+        back = read_dat(path)
+        assert back.n_transactions == 12
+        assert back.transactions[-1] == ("z",)
+
+    def test_append_to_gzip_rejected(self, tmp_path):
+        ds = medical_cases(n_cases=5, seed=1)
+        path = str(tmp_path / "a.dat.gz")
+        write_dat(ds, path)
+        with pytest.raises(DatasetError):
+            append_transactions(path, [["x"]])
+
+    def test_dfs_roundtrip(self, tmp_path):
+        ds = medical_cases(n_cases=20, seed=1)
+        with MiniDfs(root_dir=str(tmp_path / "dfs"), n_datanodes=2, block_size=128) as dfs:
+            ds.write_to_dfs(dfs, "/d.dat")
+            back = dataset_from_dfs(dfs, "/d.dat")
+        assert back.transactions == ds.transactions
+
+
+class TestRetailGenerator:
+    def test_shape(self):
+        ds = retail_like(n_transactions=500, n_items=300, seed=2)
+        stats = ds.stats()
+        assert stats.n_transactions == 500
+        assert stats.n_distinct_items <= 300
+        assert 2 < stats.avg_transaction_length < 20
+
+    def test_deterministic(self):
+        a = retail_like(n_transactions=100, seed=3)
+        b = retail_like(n_transactions=100, seed=3)
+        assert a.transactions == b.transactions
+
+    def test_power_law_head(self):
+        """The most popular item must dwarf the median item's frequency."""
+        ds = retail_like(n_transactions=3000, n_items=500, seed=2)
+        counts = np.zeros(500, dtype=int)
+        for t in ds.transactions:
+            for i in t:
+                counts[i] += 1
+        ordered = np.sort(counts)[::-1]
+        assert ordered[0] > 10 * max(1, ordered[250])
+
+    def test_bundles_create_correlation(self):
+        from repro.algorithms import fpgrowth
+
+        ds = retail_like(
+            n_transactions=3000, n_items=400, n_bundles=5, bundle_rate=0.4, seed=4
+        )
+        mined = fpgrowth(ds.transactions, 0.02)
+        n = ds.n_transactions
+        singles = {k[0]: v for k, v in mined.items() if len(k) == 1}
+        lifts = [
+            v / (singles[k[0]] * singles[k[1]] / n)
+            for k, v in mined.items()
+            if len(k) == 2
+        ]
+        assert lifts and max(lifts) > 3.0
+
+    def test_invalid_params(self):
+        with pytest.raises(DatasetError):
+            retail_like(n_transactions=0)
+        with pytest.raises(DatasetError):
+            retail_like(zipf_exponent=1.0)
+        with pytest.raises(DatasetError):
+            retail_like(bundle_rate=1.5)
+
+    def test_minable_end_to_end(self):
+        from repro.core import Yafim
+        from repro.engine import Context
+        from repro.algorithms import apriori
+
+        ds = retail_like(n_transactions=400, n_items=150, seed=5)
+        with Context(backend="serial") as ctx:
+            got = Yafim(ctx).run(ds.transactions, 0.05).itemsets
+        assert got == apriori(ds.transactions, 0.05)

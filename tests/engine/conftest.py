@@ -1,0 +1,15 @@
+import pytest
+
+from repro.engine import Context
+
+
+@pytest.fixture()
+def ctx():
+    with Context(backend="serial") as c:
+        yield c
+
+
+@pytest.fixture()
+def tctx():
+    with Context(backend="threads", parallelism=4) as c:
+        yield c

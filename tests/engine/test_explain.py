@@ -1,0 +1,46 @@
+"""Execution-plan explain() tests."""
+
+from repro.engine.lineage import explain
+
+
+class TestExplain:
+    def test_single_stage(self, ctx):
+        rdd = ctx.parallelize(range(4), 2).map(lambda x: x).filter(bool)
+        plan = explain(rdd)
+        assert plan.count("Stage") == 1
+        assert "result" in plan
+        assert "ParallelCollectionRDD" in plan
+        assert "MapPartitionsRDD" in plan
+
+    def test_shuffle_creates_two_stages(self, ctx):
+        rdd = ctx.parallelize([(1, 1)], 2).reduce_by_key(lambda a, b: a + b, 3)
+        plan = explain(rdd)
+        assert plan.count("Stage") == 2
+        assert "shuffle-map" in plan
+        lines = plan.splitlines()
+        assert "Stage 0" in lines[0]  # parent stage listed first
+        assert "3 task(s)" in lines[2]  # result stage over 3 reduce buckets
+
+    def test_shared_shuffle_listed_once(self, ctx):
+        base = ctx.parallelize([(1, 1)], 2).reduce_by_key(lambda a, b: a + b)
+        chained = base.map_values(lambda v: v + 1).group_by_key()
+        plan = explain(chained)
+        assert plan.count("shuffle-map") == 2  # two distinct shuffles only
+
+    def test_join_plan_has_three_stages(self, ctx):
+        a = ctx.parallelize([(1, "a")], 2)
+        b = ctx.parallelize([(1, "b")], 2)
+        plan = explain(a.join(b))
+        assert plan.count("shuffle-map") == 2
+        assert plan.count("Stage") == 3
+
+    def test_matches_executed_stages(self, ctx):
+        rdd = (
+            ctx.parallelize([(i % 3, i) for i in range(12)], 3)
+            .group_by_key()
+            .map_values(len)
+        )
+        plan_stages = explain(rdd).count("Stage")
+        rdd.collect()
+        executed = len({t.stage_id for t in ctx.event_log.tasks})
+        assert plan_stages == executed

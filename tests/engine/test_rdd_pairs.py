@@ -1,0 +1,196 @@
+"""Pair-RDD (shuffle) operations."""
+
+from collections import Counter
+
+import pytest
+
+from repro.engine import HashPartitioner
+
+
+class TestReduceByKey:
+    def test_word_count(self, ctx):
+        words = "the quick brown fox the lazy dog the end".split()
+        got = dict(
+            ctx.parallelize(words, 3)
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+        assert got == dict(Counter(words))
+
+    def test_respects_num_partitions(self, ctx):
+        rdd = ctx.parallelize([(i % 5, 1) for i in range(50)], 4).reduce_by_key(
+            lambda a, b: a + b, num_partitions=7
+        )
+        assert rdd.num_partitions == 7
+        assert dict(rdd.collect()) == {k: 10 for k in range(5)}
+
+    def test_non_commutative_safe_because_associative(self, ctx):
+        # String concatenation is associative; per-partition order is stable.
+        pairs = [("k", c) for c in "abcdef"]
+        got = dict(
+            ctx.parallelize(pairs, 1).reduce_by_key(lambda a, b: a + b).collect()
+        )
+        assert got == {"k": "abcdef"}
+
+    def test_single_key_many_values(self, ctx):
+        got = dict(
+            ctx.parallelize([("k", 1)] * 1000, 8).reduce_by_key(lambda a, b: a + b).collect()
+        )
+        assert got == {"k": 1000}
+
+
+class TestCombineByKey:
+    def test_average_by_key(self, ctx):
+        data = [("a", 1.0), ("a", 3.0), ("b", 5.0)]
+        sums = (
+            ctx.parallelize(data, 2)
+            .combine_by_key(
+                lambda v: (v, 1),
+                lambda c, v: (c[0] + v, c[1] + 1),
+                lambda c1, c2: (c1[0] + c2[0], c1[1] + c2[1]),
+            )
+            .map_values(lambda c: c[0] / c[1])
+            .collect_as_map()
+        )
+        assert sums == {"a": 2.0, "b": 5.0}
+
+    def test_without_map_side_combine(self, ctx):
+        data = [("a", 1), ("a", 2), ("b", 3)]
+        got = (
+            ctx.parallelize(data, 2)
+            .combine_by_key(
+                lambda v: [v],
+                lambda c, v: c + [v],
+                lambda a, b: a + b,
+                map_side_combine=False,
+            )
+            .collect_as_map()
+        )
+        assert sorted(got["a"]) == [1, 2]
+        assert got["b"] == [3]
+
+
+class TestGroupByKey:
+    def test_groups_all_values(self, ctx):
+        data = [(i % 3, i) for i in range(12)]
+        got = ctx.parallelize(data, 4).group_by_key().collect_as_map()
+        assert {k: sorted(v) for k, v in got.items()} == {
+            0: [0, 3, 6, 9],
+            1: [1, 4, 7, 10],
+            2: [2, 5, 8, 11],
+        }
+
+    def test_group_by_function(self, ctx):
+        got = ctx.parallelize(range(6), 2).group_by(lambda x: x % 2).collect_as_map()
+        assert sorted(got[0]) == [0, 2, 4]
+        assert sorted(got[1]) == [1, 3, 5]
+
+
+class TestAggregateAndFoldByKey:
+    def test_fold_by_key(self, ctx):
+        data = [("a", 2), ("a", 3), ("b", 4)]
+        got = ctx.parallelize(data, 2).fold_by_key(0, lambda a, b: a + b).collect_as_map()
+        assert got == {"a": 5, "b": 4}
+
+    def test_aggregate_by_key_zero_isolated(self, ctx):
+        data = [("a", 1), ("a", 2), ("b", 3)]
+        got = (
+            ctx.parallelize(data, 2)
+            .aggregate_by_key([], lambda acc, v: acc + [v], lambda a, b: a + b)
+            .collect_as_map()
+        )
+        assert sorted(got["a"]) == [1, 2]
+        assert got["b"] == [3]
+
+
+class TestJoins:
+    @pytest.fixture()
+    def left_right(self, ctx):
+        left = ctx.parallelize([(1, "a"), (2, "b"), (2, "c")], 2)
+        right = ctx.parallelize([(2, "x"), (3, "y")], 2)
+        return left, right
+
+    def test_inner_join(self, left_right):
+        left, right = left_right
+        got = sorted(left.join(right).collect())
+        assert got == [(2, ("b", "x")), (2, ("c", "x"))]
+
+    def test_left_outer_join(self, left_right):
+        left, right = left_right
+        got = sorted(left.left_outer_join(right).collect())
+        assert got == [(1, ("a", None)), (2, ("b", "x")), (2, ("c", "x"))]
+
+    def test_right_outer_join(self, left_right):
+        left, right = left_right
+        got = sorted(left.right_outer_join(right).collect())
+        assert got == [(2, ("b", "x")), (2, ("c", "x")), (3, (None, "y"))]
+
+    def test_full_outer_join(self, left_right):
+        left, right = left_right
+        got = sorted(left.full_outer_join(right).collect())
+        assert got == [
+            (1, ("a", None)),
+            (2, ("b", "x")),
+            (2, ("c", "x")),
+            (3, (None, "y")),
+        ]
+
+    def test_cogroup(self, left_right):
+        left, right = left_right
+        got = {k: (sorted(a), sorted(b)) for k, (a, b) in left.cogroup(right).collect()}
+        assert got == {1: (["a"], []), 2: (["b", "c"], ["x"]), 3: ([], ["y"])}
+
+    def test_subtract_by_key(self, left_right):
+        left, right = left_right
+        got = sorted(left.subtract_by_key(right).collect())
+        assert got == [(1, "a")]
+
+
+class TestPairHelpers:
+    def test_keys_values(self, ctx):
+        rdd = ctx.parallelize([(1, "a"), (2, "b")], 2)
+        assert rdd.keys().collect() == [1, 2]
+        assert rdd.values().collect() == ["a", "b"]
+
+    def test_map_values_preserves_partitioning(self, ctx):
+        shuffled = ctx.parallelize([(1, 2), (3, 4)], 2).reduce_by_key(lambda a, b: a + b)
+        mapped = shuffled.map_values(lambda v: v * 10)
+        assert mapped.partitioner == shuffled.partitioner
+
+    def test_flat_map_values(self, ctx):
+        got = sorted(
+            ctx.parallelize([(1, "ab")], 1).flat_map_values(list).collect()
+        )
+        assert got == [(1, "a"), (1, "b")]
+
+    def test_count_by_key(self, ctx):
+        got = ctx.parallelize([("a", 1), ("a", 9), ("b", 0)], 2).count_by_key()
+        assert got == {"a": 2, "b": 1}
+
+    def test_lookup_on_unpartitioned(self, ctx):
+        rdd = ctx.parallelize([("a", 1), ("b", 2), ("a", 3)], 3)
+        assert sorted(rdd.lookup("a")) == [1, 3]
+
+    def test_lookup_on_partitioned_scans_one_partition(self, ctx):
+        rdd = ctx.parallelize([(i, i) for i in range(20)], 4).reduce_by_key(
+            lambda a, b: a, num_partitions=5
+        )
+        rdd.collect()  # materialize shuffle
+        mark = ctx.event_log.mark()
+        assert rdd.lookup(7) == [7]
+        new_tasks = [t for t in ctx.event_log.tasks_since(mark) if t.kind == "result"]
+        assert len(new_tasks) == 1  # only the owning partition ran
+
+    def test_partition_by_places_keys(self, ctx):
+        part = HashPartitioner(3)
+        rdd = ctx.parallelize([(i, None) for i in range(30)], 4).partition_by(part)
+        chunks = rdd.glom().collect()
+        for idx, chunk in enumerate(chunks):
+            for k, _ in chunk:
+                assert part.partition(k) == idx
+
+    def test_partition_by_same_partitioner_is_noop(self, ctx):
+        part = HashPartitioner(3)
+        rdd = ctx.parallelize([(1, 1)], 2).partition_by(part)
+        assert rdd.partition_by(part) is rdd

@@ -1,0 +1,107 @@
+"""StatCounter and RDD.stats() tests."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Context
+from repro.engine.statcounter import StatCounter
+
+_settings = settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+floats = st.floats(-1e6, 1e6, allow_nan=False)
+
+
+class TestStatCounter:
+    def test_single_value(self):
+        c = StatCounter().add(5.0)
+        assert c.count == 1
+        assert c.mean == 5.0
+        assert c.variance == 0.0
+        assert math.isnan(c.sample_variance)
+        assert c.min_value == c.max_value == 5.0
+
+    def test_empty(self):
+        c = StatCounter()
+        assert c.count == 0
+        assert math.isnan(c.variance)
+        assert math.isnan(c.stdev)
+
+    def test_known_values(self):
+        c = StatCounter()
+        for x in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            c.add(x)
+        assert c.mean == pytest.approx(5.0)
+        assert c.stdev == pytest.approx(2.0)
+        assert c.sum == pytest.approx(40.0)
+
+    def test_merge_with_empty(self):
+        a = StatCounter().add(1.0)
+        a.merge(StatCounter())
+        assert a.count == 1
+        b = StatCounter()
+        b.merge(StatCounter().add(2.0))
+        assert b.mean == 2.0
+
+    @_settings
+    @given(st.lists(floats, min_size=2, max_size=50), st.integers(1, 5))
+    def test_merge_equals_sequential(self, xs, cut_point):
+        cut = min(cut_point * len(xs) // 6, len(xs))
+        left, right = StatCounter(), StatCounter()
+        for x in xs[:cut]:
+            left.add(x)
+        for x in xs[cut:]:
+            right.add(x)
+        left.merge(right)
+        assert left.count == len(xs)
+        assert left.mean == pytest.approx(statistics.fmean(xs), rel=1e-9, abs=1e-6)
+        assert left.variance == pytest.approx(
+            statistics.pvariance(xs), rel=1e-6, abs=1e-4
+        )
+        assert left.min_value == min(xs)
+        assert left.max_value == max(xs)
+
+    @_settings
+    @given(st.lists(floats, min_size=2, max_size=40))
+    def test_sample_variance_matches_statistics(self, xs):
+        c = StatCounter()
+        for x in xs:
+            c.add(x)
+        assert c.sample_variance == pytest.approx(
+            statistics.variance(xs), rel=1e-6, abs=1e-4
+        )
+
+
+class TestRddStats:
+    def test_stats_across_partitions(self, ctx):
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        stats = ctx.parallelize(data, 3).stats()
+        assert stats.count == 8
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.stdev == pytest.approx(2.0)
+        assert stats.min_value == 2.0
+        assert stats.max_value == 9.0
+
+    def test_stdev_and_variance_shortcuts(self, ctx):
+        rdd = ctx.parallelize([1.0, 3.0], 2)
+        assert rdd.variance() == pytest.approx(1.0)
+        assert rdd.stdev() == pytest.approx(1.0)
+
+    def test_stats_with_empty_partitions(self, ctx):
+        stats = ctx.parallelize([7.0], 5).stats()
+        assert stats.count == 1
+        assert stats.mean == 7.0
+
+    @_settings
+    @given(st.lists(floats, min_size=1, max_size=40), st.integers(1, 6))
+    def test_matches_statistics_module(self, xs, n):
+        with Context(backend="serial") as ctx:
+            stats = ctx.parallelize(xs, n).stats()
+        assert stats.mean == pytest.approx(statistics.fmean(xs), rel=1e-9, abs=1e-6)
+        assert stats.count == len(xs)

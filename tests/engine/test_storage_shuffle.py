@@ -1,0 +1,141 @@
+"""Block manager and shuffle manager unit tests."""
+
+import pytest
+
+from repro.common.errors import EngineError
+from repro.engine.shuffle import ShuffleManager
+from repro.engine.storage import BlockId, BlockManager, StorageLevel
+
+
+class TestBlockManager:
+    def test_put_get_memory(self):
+        bm = BlockManager()
+        block = BlockId(1, 0)
+        bm.put(block, [1, 2, 3], StorageLevel.MEMORY_ONLY)
+        assert bm.get(block) == [1, 2, 3]
+        assert bm.metrics.memory_hits == 1
+        bm.close()
+
+    def test_miss(self):
+        bm = BlockManager()
+        assert bm.get(BlockId(9, 9)) is None
+        assert bm.metrics.misses == 1
+        bm.close()
+
+    def test_disk_only_spills_immediately(self):
+        bm = BlockManager()
+        block = BlockId(2, 0)
+        bm.put(block, list(range(100)), StorageLevel.DISK_ONLY)
+        assert bm.metrics.spills == 1
+        assert bm.get(block) == list(range(100))
+        assert bm.metrics.disk_hits == 1
+        bm.close()
+
+    def test_lru_eviction_memory_only_drops(self):
+        bm = BlockManager(memory_limit_bytes=1000)
+        data = list(range(150))  # ~316 bytes pickled
+        for i in range(6):
+            bm.put(BlockId(1, i), data, StorageLevel.MEMORY_ONLY)
+        assert bm.metrics.evictions > 0
+        assert bm.get(BlockId(1, 0)) is None  # oldest evicted, gone
+        assert bm.get(BlockId(1, 5)) == data  # newest retained
+        bm.close()
+
+    def test_lru_eviction_memory_and_disk_spills(self):
+        bm = BlockManager(memory_limit_bytes=1000)
+        data = list(range(150))
+        for i in range(6):
+            bm.put(BlockId(1, i), data, StorageLevel.MEMORY_AND_DISK)
+        assert bm.metrics.evictions > 0
+        assert bm.metrics.spills == bm.metrics.evictions
+        assert bm.get(BlockId(1, 0)) == data  # reloaded from disk
+        bm.close()
+
+    def test_lru_order_updated_on_access(self):
+        bm = BlockManager(memory_limit_bytes=700)
+        data = list(range(150))
+        bm.put(BlockId(1, 0), data, StorageLevel.MEMORY_ONLY)
+        bm.put(BlockId(1, 1), data, StorageLevel.MEMORY_ONLY)
+        bm.get(BlockId(1, 0))  # refresh block 0
+        for i in range(2, 7):
+            bm.put(BlockId(1, i), data, StorageLevel.MEMORY_ONLY)
+        # block 1 should be evicted before block 0
+        assert bm.get(BlockId(1, 1)) is None
+        bm.close()
+
+    def test_remove_rdd(self):
+        bm = BlockManager()
+        bm.put(BlockId(1, 0), [1], StorageLevel.MEMORY_ONLY)
+        bm.put(BlockId(1, 1), [2], StorageLevel.DISK_ONLY)
+        bm.put(BlockId(2, 0), [3], StorageLevel.MEMORY_ONLY)
+        assert bm.remove_rdd(1) == 2
+        assert bm.get(BlockId(1, 0)) is None
+        assert bm.get(BlockId(2, 0)) == [3]
+        bm.close()
+
+    def test_drop_block(self):
+        bm = BlockManager()
+        bm.put(BlockId(1, 0), [1], StorageLevel.MEMORY_ONLY)
+        assert bm.drop_block(BlockId(1, 0))
+        assert not bm.drop_block(BlockId(1, 0))
+        assert bm.get(BlockId(1, 0)) is None
+        bm.close()
+
+    def test_clear(self):
+        bm = BlockManager()
+        bm.put(BlockId(1, 0), [1], StorageLevel.MEMORY_ONLY)
+        bm.put(BlockId(1, 1), [1], StorageLevel.DISK_ONLY)
+        bm.clear()
+        assert bm.cached_block_count == 0
+        assert bm.metrics.memory_bytes == 0
+        bm.close()
+
+
+class TestShuffleManager:
+    def test_roundtrip(self):
+        sm = ShuffleManager()
+        sm.register_shuffle(0, num_maps=2)
+        sm.put_map_output(0, 0, [[("a", 1)], [("b", 2)]])
+        sm.put_map_output(0, 1, [[("a", 3)], []])
+        buckets, nbytes = sm.fetch(0, 0)
+        assert buckets == [[("a", 1)], [("a", 3)]]
+        assert nbytes > 0
+        buckets, _ = sm.fetch(0, 1)
+        assert buckets == [[("b", 2)], []]
+
+    def test_is_complete(self):
+        sm = ShuffleManager()
+        sm.register_shuffle(1, num_maps=2)
+        assert not sm.is_complete(1)
+        sm.put_map_output(1, 0, [[]])
+        assert not sm.is_complete(1)
+        sm.put_map_output(1, 1, [[]])
+        assert sm.is_complete(1)
+
+    def test_fetch_unknown_shuffle(self):
+        with pytest.raises(EngineError):
+            ShuffleManager().fetch(42, 0)
+
+    def test_fetch_missing_map_output(self):
+        sm = ShuffleManager()
+        sm.register_shuffle(0, num_maps=2)
+        sm.put_map_output(0, 0, [[("k", 1)]])
+        with pytest.raises(EngineError):
+            sm.fetch(0, 0)
+
+    def test_remove_shuffle(self):
+        sm = ShuffleManager()
+        sm.register_shuffle(0, num_maps=1)
+        sm.put_map_output(0, 0, [[("k", 1)]])
+        sm.remove_shuffle(0)
+        with pytest.raises(EngineError):
+            sm.fetch(0, 0)
+
+    def test_metrics_accumulate(self):
+        sm = ShuffleManager()
+        sm.register_shuffle(0, num_maps=1)
+        sm.put_map_output(0, 0, [[("k", 1)], [("j", 2)]])
+        assert sm.metrics.blocks_written == 2
+        assert sm.metrics.bytes_written > 0
+        sm.fetch(0, 0)
+        assert sm.metrics.blocks_fetched == 1

@@ -1,0 +1,67 @@
+"""Property-based tests: the MapReduce runtime vs plain-Python semantics."""
+
+from collections import Counter
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.hdfs import MiniDfs
+from repro.mapreduce import FunctionMapper, FunctionReducer, JobRunner, JobSpec, read_job_output
+
+_settings = settings(
+    max_examples=15, deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+lines_strategy = st.lists(
+    st.lists(st.sampled_from("abcdefg"), min_size=1, max_size=6).map(" ".join),
+    min_size=1,
+    max_size=30,
+)
+
+
+def run_wordcount(lines, block_size, reducers, combiner):
+    with MiniDfs(n_datanodes=3, block_size=block_size, replication=1) as dfs:
+        dfs.write_lines("/in", lines)
+        spec = JobSpec(
+            name="wc",
+            input_paths=["/in"],
+            output_path="/out",
+            mapper_factory=lambda: FunctionMapper(
+                lambda k, v: [(w, 1) for w in v.split()]
+            ),
+            reducer_factory=lambda: FunctionReducer(lambda k, vs: [(k, sum(vs))]),
+            combiner_factory=(
+                (lambda: FunctionReducer(lambda k, vs: [(k, sum(vs))])) if combiner else None
+            ),
+            num_reducers=reducers,
+        )
+        JobRunner(dfs).run(spec)
+        out = {}
+        for line in read_job_output(dfs, "/out"):
+            k, v = line.split("\t")
+            out[k] = int(v)
+        return out
+
+
+class TestWordCountProperties:
+    @_settings
+    @given(lines_strategy, st.integers(4, 64), st.integers(1, 5), st.booleans())
+    def test_matches_counter(self, lines, block_size, reducers, combiner):
+        want = dict(Counter(w for line in lines for w in line.split()))
+        got = run_wordcount(lines, block_size, reducers, combiner)
+        assert got == want
+
+    @_settings
+    @given(lines_strategy, st.integers(1, 4))
+    def test_reducer_count_does_not_change_result(self, lines, r1):
+        a = run_wordcount(lines, 32, r1, combiner=False)
+        b = run_wordcount(lines, 32, r1 + 3, combiner=True)
+        assert a == b
+
+    @_settings
+    @given(lines_strategy)
+    def test_block_size_does_not_change_result(self, lines):
+        a = run_wordcount(lines, 5, 2, combiner=False)
+        b = run_wordcount(lines, 4096, 2, combiner=False)
+        assert a == b

@@ -35,11 +35,22 @@ __version__ = "1.0.0"
 def __getattr__(name):
     # Lazy imports keep `import repro` cheap and avoid import cycles while
     # submodules are still being loaded.
-    if name in ("MiningResult", "mine_frequent_itemsets"):
+    if name in ("MiningConfig", "MiningResult", "mine_frequent_itemsets"):
         from repro.core import api
 
         return getattr(api, name)
+    if name in ("algorithm_names", "register_algorithm"):
+        from repro.core import registry
+
+        return getattr(registry, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
-__all__ = ["MiningResult", "__version__", "mine_frequent_itemsets"]
+__all__ = [
+    "MiningConfig",
+    "MiningResult",
+    "__version__",
+    "algorithm_names",
+    "mine_frequent_itemsets",
+    "register_algorithm",
+]

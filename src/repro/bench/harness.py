@@ -44,6 +44,11 @@ class ComparisonRun:
         return self.yafim.itemsets == self.mrapriori.itemsets
 
     @property
+    def traces(self) -> list:
+        """Both runs' tracers (YAFIM first), ready for chrome-trace export."""
+        return [t for t in (self.yafim.trace, self.mrapriori.trace) if t is not None]
+
+    @property
     def total_speedup(self) -> float:
         return self.mrapriori.total_seconds / max(self.yafim.total_seconds, 1e-9)
 

@@ -66,17 +66,30 @@ def _load_transactions(args) -> tuple[str, list]:
     raise SystemExit("provide --input FILE or --dataset NAME")
 
 
+def _write_trace(traces, path: str) -> None:
+    from repro.engine.tracing import export_chrome_trace
+
+    try:
+        export_chrome_trace([t for t in traces if t is not None], path)
+    except OSError as err:
+        raise ReproError(f"cannot write trace file {path!r}: {err}") from err
+    print(f"wrote chrome://tracing JSON to {path}")
+
+
 def cmd_mine(args) -> int:
-    from repro.core.api import mine_frequent_itemsets
+    from repro.core.api import MiningConfig, mine_frequent_itemsets
 
     name, txns = _load_transactions(args)
     result = mine_frequent_itemsets(
         txns,
-        args.support,
-        algorithm=args.algorithm,
-        max_length=args.max_length,
-        backend=args.backend,
-        parallelism=args.parallelism,
+        config=MiningConfig(
+            min_support=args.support,
+            algorithm=args.algorithm,
+            max_length=args.max_length,
+            backend=args.backend,
+            parallelism=args.parallelism,
+            num_partitions=args.num_partitions,
+        ),
     )
     print(result.summary())
     shown = sorted(result.itemsets.items(), key=lambda kv: (-kv[1], kv[0]))
@@ -93,6 +106,8 @@ def cmd_mine(args) -> int:
         print(f"\n{len(rules)} rules at confidence >= {args.rules:g}:")
         for rule in top_rules(rules, args.top):
             print(f"  {rule}")
+    if args.trace_out:
+        _write_trace([result.trace], args.trace_out)
     return 0
 
 
@@ -125,6 +140,8 @@ def cmd_compare(args) -> int:
         f"measured speedup {run.total_speedup:.2f}x   "
         f"paper-cluster replay {mr_c / ya_c:.1f}x"
     )
+    if args.trace_out:
+        _write_trace(run.traces, args.trace_out)
     return 0
 
 
@@ -139,22 +156,30 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.05, help="dataset scale")
         p.add_argument("--seed", type=int, default=0)
 
+    # CLI choices derive from the registry, so `register_algorithm` plugs
+    # new miners into `--algorithm` without touching this file.
+    from repro.core.registry import algorithm_names
+
     mine = sub.add_parser("mine", help="mine frequent itemsets")
     common(mine)
     mine.add_argument("--input", help="transaction file (one txn per line)")
     mine.add_argument("--support", type=float, required=True)
-    mine.add_argument(
-        "--algorithm",
-        default="yafim",
-        choices=["yafim", "apriori", "eclat", "fpgrowth", "mrapriori", "dist_eclat", "pfp"],
-    )
+    mine.add_argument("--algorithm", default="yafim", choices=algorithm_names())
     mine.add_argument("--max-length", type=int, default=None)
     mine.add_argument("--backend", default="threads")
     mine.add_argument("--parallelism", type=int, default=None)
+    mine.add_argument(
+        "--num-partitions", type=int, default=None,
+        help="partitions for the transaction RDD and shuffles",
+    )
     mine.add_argument("--top", type=int, default=15, help="itemsets/rules to print")
     mine.add_argument(
         "--rules", type=float, default=None, metavar="CONF",
         help="also emit association rules at this confidence",
+    )
+    mine.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the run's chrome://tracing JSON here",
     )
     mine.set_defaults(func=cmd_mine)
 
@@ -168,6 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--support", type=float, required=True)
     cmp_.add_argument("--max-length", type=int, default=None)
     cmp_.add_argument("--parallelism", type=int, default=None)
+    cmp_.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write both runs' chrome://tracing JSON here",
+    )
     cmp_.set_defaults(func=cmd_compare)
     return parser
 

@@ -1,7 +1,13 @@
 """The paper's contribution: YAFIM, its baselines, and post-processing."""
 
-from repro.core.api import MiningResult, mine_frequent_itemsets
+from repro.core.api import MiningConfig, MiningResult, mine_frequent_itemsets
 from repro.core.candidates import apriori_gen, join_step, prune_step
+from repro.core.registry import (
+    AlgorithmSpec,
+    algorithm_names,
+    register_algorithm,
+    unregister_algorithm,
+)
 from repro.core.dist_eclat import DistEclat
 from repro.core.hashtree import HashTree
 from repro.core.one_phase import OnePhaseMR
@@ -25,11 +31,13 @@ __all__ = [
     "DPC",
     "FPC",
     "SPC",
+    "AlgorithmSpec",
     "AssociationRule",
     "DistEclat",
     "HashTree",
     "IterationStats",
     "MRApriori",
+    "MiningConfig",
     "MiningResult",
     "PFP",
     "RApriori",
@@ -38,9 +46,12 @@ __all__ = [
     "ToivonenResult",
     "TopKResult",
     "Yafim",
+    "algorithm_names",
     "apriori_gen",
     "dpc_strategy",
     "fpc_strategy",
+    "register_algorithm",
+    "unregister_algorithm",
     "closed_itemsets",
     "count_exact",
     "generate_rules",

@@ -1,9 +1,9 @@
-"""Unified mining API — one call, any engine.
+"""Unified mining API — one call, any registered algorithm.
 
 ``mine_frequent_itemsets(transactions, min_support)`` runs YAFIM on an
-ephemeral engine context by default; ``algorithm=`` selects any of the
-other implementations (all return identical itemsets by construction —
-asserted by the integration tests):
+ephemeral engine context by default; ``algorithm=`` selects any name in
+the :mod:`repro.core.registry` (all built-ins return identical itemsets
+by construction — asserted by the integration tests):
 
 ========== ==========================================================
 algorithm  implementation
@@ -16,28 +16,48 @@ eclat      vertical tid-set oracle
 fpgrowth   pattern-growth oracle
 mrapriori  MapReduce baseline (spins up an ephemeral mini-DFS)
 ========== ==========================================================
+
+Dispatch is entirely registry-driven — there is no per-algorithm branch
+here, and :func:`repro.core.registry.register_algorithm` plugs new
+miners into this function and the CLI alike.  Prefer passing a
+:class:`MiningConfig` for anything beyond the basics::
+
+    result = mine_frequent_itemsets(
+        txns, config=MiningConfig(min_support=0.3, algorithm="pfp")
+    )
+
+Every result carries the run's observability trail: ``result.trace`` (a
+:class:`~repro.engine.tracing.Tracer`, exportable to chrome://tracing)
+and ``result.engine_metrics`` for engine-backed algorithms.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from collections.abc import Iterable, Sequence
 
 from repro.common.errors import MiningError
-from repro.core.results import IterationStats, MiningRunResult
+from repro.core.registry import MiningConfig, run_algorithm
+from repro.core.results import MiningRunResult
 
 #: Result alias kept for the public API surface.
 MiningResult = MiningRunResult
 
+#: legacy positional parameter order of the pre-registry signature
+_LEGACY_POSITIONAL = ("algorithm", "max_length", "backend", "parallelism", "num_partitions")
+
 
 def mine_frequent_itemsets(
     transactions: Iterable[Sequence],
-    min_support: float,
+    min_support: float | None = None,
+    *legacy_args,
+    config: MiningConfig | None = None,
     algorithm: str = "yafim",
     max_length: int | None = None,
     backend: str = "threads",
     parallelism: int | None = None,
     num_partitions: int | None = None,
+    **options,
 ) -> MiningRunResult:
     """Mine all frequent itemsets of ``transactions``.
 
@@ -46,88 +66,73 @@ def mine_frequent_itemsets(
     transactions:
         Iterable of item sequences (items must be hashable + orderable).
     min_support:
-        Relative minimum support in (0, 1].
+        Relative minimum support in (0, 1].  Omit when passing ``config``.
+    config:
+        A :class:`MiningConfig` carrying every knob at once (keyword-only).
+        Mutually exclusive with ``min_support`` and the individual knobs.
     algorithm:
-        ``"yafim"`` (default), ``"apriori"``, ``"eclat"``, ``"fpgrowth"``
-        or ``"mrapriori"``.
+        Any name registered with
+        :func:`repro.core.registry.register_algorithm` (built-ins:
+        ``"yafim"`` (default), ``"dist_eclat"``, ``"pfp"``,
+        ``"apriori"``, ``"eclat"``, ``"fpgrowth"``, ``"mrapriori"``).
     max_length:
         Optional cap on mined itemset length.
     backend / parallelism / num_partitions:
         Engine knobs for the parallel algorithms.
+    **options:
+        Extra keyword arguments for the selected miner's constructor
+        (e.g. YAFIM's ``use_hash_tree=False``).
 
     Returns
     -------
     MiningRunResult
         ``result.itemsets`` maps canonical itemsets to absolute support
-        counts; per-iteration stats ride along for the parallel miners.
+        counts; per-iteration stats (shuffle/broadcast bytes, cache hit
+        rate, straggler ratio), ``result.trace`` and
+        ``result.engine_metrics`` ride along.
+
+    .. deprecated::
+        Passing ``algorithm``/``max_length``/``backend``/... positionally
+        (the pre-registry signature) still works but emits a
+        ``DeprecationWarning``; pass them as keywords or in a
+        :class:`MiningConfig`.
     """
-    txns = list(transactions)
-    if algorithm == "yafim":
-        from repro.core.yafim import Yafim
-        from repro.engine.context import Context
-
-        with Context(backend=backend, parallelism=parallelism) as ctx:
-            miner = Yafim(ctx, num_partitions=num_partitions)
-            return miner.run(txns, min_support, max_length=max_length)
-
-    if algorithm == "dist_eclat":
-        from repro.core.dist_eclat import DistEclat
-        from repro.engine.context import Context
-
-        with Context(backend=backend, parallelism=parallelism) as ctx:
-            miner = DistEclat(ctx, num_partitions=num_partitions)
-            return miner.run(txns, min_support, max_length=max_length)
-
-    if algorithm == "pfp":
-        from repro.core.pfp import PFP
-        from repro.engine.context import Context
-
-        with Context(backend=backend, parallelism=parallelism) as ctx:
-            miner = PFP(ctx, num_partitions=num_partitions)
-            return miner.run(txns, min_support, max_length=max_length)
-
-    if algorithm == "mrapriori":
-        from repro.core.mrapriori import MRApriori
-        from repro.hdfs.filesystem import MiniDfs
-        from repro.mapreduce.runner import JobRunner
-
-        with MiniDfs(n_datanodes=2, replication=1) as dfs:
-            dfs.write_lines(
-                "/transactions.txt",
-                (" ".join(str(i) for i in sorted(set(t))) for t in txns),
+    if legacy_args:
+        if len(legacy_args) > len(_LEGACY_POSITIONAL):
+            raise TypeError(
+                f"mine_frequent_itemsets takes at most "
+                f"{2 + len(_LEGACY_POSITIONAL)} positional arguments"
             )
-            runner = JobRunner(
-                dfs,
-                backend="threads" if backend == "threads" else "serial",
-                parallelism=parallelism or 4,
-            )
-            result = MRApriori(runner).run(
-                "/transactions.txt", min_support, max_length=max_length
-            )
-            # Items round-tripped through text; restore original types when
-            # they were plain ints.
-            if txns and all(isinstance(i, int) for t in txns for i in t):
-                result.itemsets = {
-                    tuple(sorted(int(i) for i in k)): v for k, v in result.itemsets.items()
-                }
-            return result
-
-    if algorithm in ("apriori", "eclat", "fpgrowth"):
-        import repro.algorithms as alg
-
-        fn = {"apriori": alg.apriori, "eclat": alg.eclat, "fpgrowth": alg.fpgrowth}[algorithm]
-        t0 = time.perf_counter()
-        itemsets = fn(txns, min_support, max_length=max_length)
-        seconds = time.perf_counter() - t0
-        result = MiningRunResult(
-            algorithm=algorithm, min_support=min_support, n_transactions=len(txns)
+        warnings.warn(
+            "passing algorithm/max_length/backend/parallelism/num_partitions "
+            "positionally is deprecated; pass them as keywords or use "
+            "config=MiningConfig(...)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        result.itemsets = itemsets
-        result.iterations = [
-            IterationStats(
-                k=0, seconds=seconds, n_candidates=-1, n_frequent=len(itemsets)
-            )
-        ]
-        return result
+        legacy = dict(zip(_LEGACY_POSITIONAL, legacy_args))
+        algorithm = legacy.get("algorithm", algorithm)
+        max_length = legacy.get("max_length", max_length)
+        backend = legacy.get("backend", backend)
+        parallelism = legacy.get("parallelism", parallelism)
+        num_partitions = legacy.get("num_partitions", num_partitions)
 
-    raise MiningError(f"unknown algorithm {algorithm!r}")
+    if config is not None:
+        if min_support is not None or legacy_args or options:
+            raise MiningError(
+                "pass either config=MiningConfig(...) or individual "
+                "arguments, not both"
+            )
+    else:
+        if min_support is None:
+            raise MiningError("min_support is required (directly or via config=)")
+        config = MiningConfig(
+            min_support=min_support,
+            algorithm=algorithm,
+            max_length=max_length,
+            backend=backend,
+            parallelism=parallelism,
+            num_partitions=num_partitions,
+            options=options,
+        )
+    return run_algorithm(transactions, config)

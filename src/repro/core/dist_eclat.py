@@ -29,8 +29,9 @@ from collections.abc import Iterable, Sequence
 
 from repro.common.errors import MiningError
 from repro.common.itemset import canonical_transaction, min_support_count
-from repro.core.results import IterationStats, MiningRunResult
+from repro.core.results import MiningRunResult, engine_iteration_stats
 from repro.engine.context import Context
+from repro.engine.tracing import collect_engine_metrics
 
 
 class DistEclat:
@@ -67,6 +68,7 @@ class DistEclat:
 
         # ---- phase 1: vertical layout + frequent singletons (one shuffle)
         t0 = time.perf_counter()
+        mark = self.ctx.event_log.mark()
         rdd = self.ctx.parallelize(list(enumerate(txns)), self.num_partitions)
         tidsets = dict(
             rdd.flat_map(lambda pair: [(item, pair[0]) for item in pair[1]])
@@ -78,7 +80,8 @@ class DistEclat:
         singletons = {(item,): len(tids) for item, tids in tidsets.items()}
         result.itemsets.update(singletons)
         result.iterations.append(
-            IterationStats(
+            engine_iteration_stats(
+                self.ctx.event_log.tasks_since(mark),
                 k=1,
                 seconds=time.perf_counter() - t0,
                 n_candidates=-1,
@@ -86,10 +89,12 @@ class DistEclat:
             )
         )
         if max_length is not None and max_length <= 1:
+            self._attach_observability(result)
             return result
 
         # ---- phase 2: distribute prefixes, mine depth-first locally ------
         t0 = time.perf_counter()
+        mark = self.ctx.event_log.mark()
         order = sorted(tidsets)
         jobs = []
         for idx, item in enumerate(order):
@@ -121,14 +126,21 @@ class DistEclat:
             .flat_map(mine_prefix)
             .collect()
         )
-        bc_tidsets.destroy()
         result.itemsets.update(dict(mined))
         result.iterations.append(
-            IterationStats(
+            engine_iteration_stats(
+                self.ctx.event_log.tasks_since(mark),
                 k=2,  # one parallel depth-first phase covers all levels >= 2
                 seconds=time.perf_counter() - t0,
                 n_candidates=len(jobs),
                 n_frequent=len(mined),
+                broadcast_bytes=bc_tidsets.size_bytes,
             )
         )
+        bc_tidsets.destroy()
+        self._attach_observability(result)
         return result
+
+    def _attach_observability(self, result: MiningRunResult) -> None:
+        result.trace = self.ctx.tracer
+        result.engine_metrics = collect_engine_metrics(self.ctx)

@@ -24,6 +24,7 @@ from collections.abc import Callable
 from repro.cluster.simulation import StageRecord
 from repro.common.errors import MiningError
 from repro.common.itemset import Itemset, canonical_transaction, min_support_count
+from repro.common.sizeof import estimate_size
 from repro.core.candidates import apriori_gen, join_step, prune_step
 from repro.core.hashtree import HashTree
 from repro.core.results import IterationStats, MiningRunResult
@@ -200,6 +201,7 @@ class MRApriori:
         result = MiningRunResult(
             algorithm=self.algorithm_name, min_support=min_support, n_transactions=0
         )
+        result.trace = self.runner.tracer
         self._run_seq += 1
         out_base = f"{self.work_dir}/i{self._instance}r{self._run_seq}"
 
@@ -232,15 +234,21 @@ class MRApriori:
         while level and (max_length is None or k <= max_length):
             t0 = time.perf_counter()
             n_levels = max(1, self.combine_strategy(k, level))
-            candidate_levels = self._generate_candidate_levels(level, n_levels)
+            with self.runner.tracer.span(f"apriori_gen k={k}", "driver", n_seed=len(level)):
+                candidate_levels = self._generate_candidate_levels(level, n_levels)
             candidates = [c for lvl in candidate_levels for c in lvl]
             if not candidates:
                 break
-            matcher = (
-                _MultiLevelHashTree(candidate_levels)
-                if self.use_hash_tree
-                else _FlatMatcher(candidates)
-            )
+            with self.runner.tracer.span(
+                f"hash_tree_build k={k}", "driver",
+                n_candidates=len(candidates), hash_tree=self.use_hash_tree,
+            ):
+                matcher = (
+                    _MultiLevelHashTree(candidate_levels)
+                    if self.use_hash_tree
+                    else _FlatMatcher(candidates)
+                )
+            cache_bytes = estimate_size(matcher)
             job = JobSpec(
                 name=f"apriori-pass{k}",
                 input_paths=[input_path],
@@ -272,6 +280,9 @@ class MRApriori:
                         len(candidate_levels[offset]),
                         len(lvl),
                         [job_result.metrics] if offset == 0 else [],
+                        # the distributed cache ships the candidate structure
+                        # once per node, the MapReduce analogue of broadcast
+                        broadcast_bytes=cache_bytes if offset == 0 else 0,
                     )
                 )
                 level = lvl
@@ -305,10 +316,11 @@ class MRApriori:
 
     def _iteration_stats(
         self, k: int, seconds: float, n_candidates: int, n_frequent: int,
-        job_metrics: list[JobMetrics],
+        job_metrics: list[JobMetrics], broadcast_bytes: int = 0,
     ) -> IterationStats:
         records = []
         read = written = shuffled = 0
+        durations: list[float] = []
         for m in job_metrics:
             records.append(
                 StageRecord(
@@ -328,15 +340,23 @@ class MRApriori:
             read += m.hdfs_read_bytes
             written += m.hdfs_write_bytes
             shuffled += m.shuffle_bytes
+            durations.extend(m.map_task_durations)
+            durations.extend(m.reduce_task_durations)
+        mean = sum(durations) / len(durations) if durations else 0.0
         return IterationStats(
             k=k,
             seconds=seconds,
             n_candidates=n_candidates,
             n_frequent=n_frequent,
             stage_records=records,
+            broadcast_bytes=broadcast_bytes,
             hdfs_read_bytes=read,
             hdfs_write_bytes=written,
             shuffle_bytes=shuffled,
+            # no RDD cache on MapReduce: every pass re-reads the DFS, which
+            # is exactly the cost YAFIM's §IV-B caching removes
+            cache_hit_rate=0.0,
+            straggler_ratio=max(durations) / mean if durations and mean > 0 else 0.0,
         )
 
 

@@ -39,8 +39,9 @@ from collections.abc import Iterable, Sequence
 
 from repro.common.errors import MiningError
 from repro.common.itemset import canonical_transaction, min_support_count
-from repro.core.results import IterationStats, MiningRunResult
+from repro.core.results import MiningRunResult, engine_iteration_stats
 from repro.engine.context import Context
+from repro.engine.tracing import collect_engine_metrics
 
 
 class PFP:
@@ -80,6 +81,7 @@ class PFP:
 
         # ---- step 1: parallel counting (= YAFIM Phase I) -----------------
         t0 = time.perf_counter()
+        mark = self.ctx.event_log.mark()
         item_counts = dict(
             rdd.flat_map(lambda t: t)
             .map(lambda item: (item, 1))
@@ -89,7 +91,8 @@ class PFP:
         )
         result.itemsets.update({(item,): c for item, c in item_counts.items()})
         result.iterations.append(
-            IterationStats(
+            engine_iteration_stats(
+                self.ctx.event_log.tasks_since(mark),
                 k=1,
                 seconds=time.perf_counter() - t0,
                 n_candidates=-1,
@@ -97,10 +100,12 @@ class PFP:
             )
         )
         if not item_counts or (max_length is not None and max_length <= 1):
+            self._attach_observability(result)
             return result
 
         # ---- step 2: grouping --------------------------------------------
         t0 = time.perf_counter()
+        mark = self.ctx.event_log.mark()
         # frequency-descending F-list with deterministic tiebreak; item
         # rank doubles as the FP order used inside every shard
         f_list = sorted(item_counts, key=lambda i: (-item_counts[i], repr(i)))
@@ -152,15 +157,22 @@ class PFP:
             .flat_map(mine_group)
             .collect()
         )
-        bc.destroy()
         result.itemsets.update(dict(mined))
         result.iterations.append(
-            IterationStats(
+            engine_iteration_stats(
+                self.ctx.event_log.tasks_since(mark),
                 k=2,  # one sharded pattern-growth phase covers levels >= 2
                 seconds=time.perf_counter() - t0,
                 n_candidates=n_groups,
                 n_frequent=len(mined),
+                broadcast_bytes=bc.size_bytes,
             )
         )
+        bc.destroy()
         rdd.unpersist()
+        self._attach_observability(result)
         return result
+
+    def _attach_observability(self, result: MiningRunResult) -> None:
+        result.trace = self.ctx.tracer
+        result.engine_metrics = collect_engine_metrics(self.ctx)

@@ -1,0 +1,262 @@
+"""Pluggable algorithm registry and the :class:`MiningConfig` it consumes.
+
+``repro.core.api`` used to dispatch on a hard-coded if/elif chain; every
+new miner meant editing the API *and* the CLI.  The registry inverts
+that: algorithms register a runner under a name, the API and the CLI
+both derive their dispatch/choices from the registry, and third-party
+code can plug in its own miner without touching ``repro``::
+
+    from repro.core.registry import register_algorithm
+
+    def my_runner(ctx, transactions, config):
+        ...  # return a MiningRunResult
+    register_algorithm("mine_faster", my_runner, needs_engine=True)
+
+    mine_frequent_itemsets(txns, 0.3, algorithm="mine_faster")
+
+Runner contracts
+----------------
+``needs_engine=True``
+    ``runner(ctx, transactions, config) -> MiningRunResult``.  The
+    dispatcher creates an ephemeral engine :class:`Context` from the
+    config (backend/parallelism), runs the runner inside it, and
+    attaches ``result.trace`` / ``result.engine_metrics`` if the runner
+    did not do so itself.
+``needs_engine=False``
+    ``runner(transactions, config) -> MiningRunResult``.  The runner
+    owns its whole substrate (sequential oracles, MapReduce).
+
+The seven built-in algorithms (yafim, dist_eclat, pfp, mrapriori,
+apriori, eclat, fpgrowth) are registered at import time; their heavy
+imports stay inside the runner bodies so importing this module is cheap.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.common.errors import MiningError
+from repro.core.results import IterationStats, MiningRunResult
+
+
+@dataclass(frozen=True)
+class MiningConfig:
+    """Everything one mining run needs, as a single value.
+
+    Parameters mirror :func:`repro.core.api.mine_frequent_itemsets`;
+    ``options`` carries algorithm-specific keyword arguments handed to
+    the miner's constructor (e.g. YAFIM's ``use_hash_tree=False``).
+    """
+
+    min_support: float
+    algorithm: str = "yafim"
+    max_length: int | None = None
+    backend: str = "threads"
+    parallelism: int | None = None
+    num_partitions: int | None = None
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not 0.0 < self.min_support <= 1.0:
+            raise MiningError(
+                f"min_support must be in (0, 1], got {self.min_support}"
+            )
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered algorithm: its name, runner, and engine needs."""
+
+    name: str
+    runner: Callable
+    needs_engine: bool = False
+    description: str = ""
+
+
+_REGISTRY: dict[str, AlgorithmSpec] = {}
+
+
+def register_algorithm(
+    name: str,
+    runner: Callable,
+    *,
+    needs_engine: bool = False,
+    description: str = "",
+    overwrite: bool = False,
+) -> AlgorithmSpec:
+    """Register ``runner`` under ``name``; returns the stored spec.
+
+    Raises :class:`MiningError` when the name is taken, unless
+    ``overwrite=True``.
+    """
+    if not name or not isinstance(name, str):
+        raise MiningError(f"algorithm name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY and not overwrite:
+        raise MiningError(
+            f"algorithm {name!r} is already registered; pass overwrite=True to replace it"
+        )
+    spec = AlgorithmSpec(
+        name=name, runner=runner, needs_engine=needs_engine, description=description
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove a registered algorithm (no-op when absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise MiningError(
+            f"unknown algorithm {name!r}; registered: {algorithm_names()}"
+        ) from None
+
+
+def algorithm_names() -> list[str]:
+    """Sorted names of every registered algorithm (drives CLI choices)."""
+    return sorted(_REGISTRY)
+
+
+def run_algorithm(transactions: Iterable[Sequence], config: MiningConfig) -> MiningRunResult:
+    """Dispatch one mining run through the registry."""
+    spec = get_algorithm(config.algorithm)
+    txns = list(transactions)
+    if not spec.needs_engine:
+        return spec.runner(txns, config)
+
+    from repro.engine.context import Context
+    from repro.engine.tracing import collect_engine_metrics
+
+    with Context(backend=config.backend, parallelism=config.parallelism) as ctx:
+        result = spec.runner(ctx, txns, config)
+        if result.trace is None:
+            result.trace = ctx.tracer
+        if result.engine_metrics is None:
+            result.engine_metrics = collect_engine_metrics(ctx)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Built-in algorithms
+# ---------------------------------------------------------------------------
+def _run_yafim(ctx, txns, config: MiningConfig) -> MiningRunResult:
+    from repro.core.yafim import Yafim
+
+    miner = Yafim(ctx, num_partitions=config.num_partitions, **config.options)
+    return miner.run(txns, config.min_support, max_length=config.max_length)
+
+
+def _run_dist_eclat(ctx, txns, config: MiningConfig) -> MiningRunResult:
+    from repro.core.dist_eclat import DistEclat
+
+    miner = DistEclat(ctx, num_partitions=config.num_partitions, **config.options)
+    return miner.run(txns, config.min_support, max_length=config.max_length)
+
+
+def _run_pfp(ctx, txns, config: MiningConfig) -> MiningRunResult:
+    from repro.core.pfp import PFP
+
+    miner = PFP(ctx, num_partitions=config.num_partitions, **config.options)
+    return miner.run(txns, config.min_support, max_length=config.max_length)
+
+
+def _run_mrapriori(txns, config: MiningConfig) -> MiningRunResult:
+    from repro.core.mrapriori import MRApriori
+    from repro.hdfs.filesystem import MiniDfs
+    from repro.mapreduce.runner import JobRunner
+
+    with MiniDfs(n_datanodes=2, replication=1) as dfs:
+        dfs.write_lines(
+            "/transactions.txt",
+            (" ".join(str(i) for i in sorted(set(t))) for t in txns),
+        )
+        runner = JobRunner(
+            dfs,
+            backend="threads" if config.backend == "threads" else "serial",
+            parallelism=config.parallelism or 4,
+        )
+        result = MRApriori(runner, **config.options).run(
+            "/transactions.txt", config.min_support, max_length=config.max_length
+        )
+        # Items round-tripped through text; restore original types when
+        # they were plain ints.
+        if txns and all(isinstance(i, int) for t in txns for i in t):
+            result.itemsets = {
+                tuple(sorted(int(i) for i in k)): v for k, v in result.itemsets.items()
+            }
+        return result
+
+
+def _make_oracle_runner(name: str) -> Callable:
+    def run_oracle(txns, config: MiningConfig) -> MiningRunResult:
+        import repro.algorithms as alg
+        from repro.engine.tracing import Tracer
+
+        fn = getattr(alg, name)
+        tracer = Tracer(label=name)
+        t0 = time.perf_counter()
+        with tracer.span(f"mine {name}", "driver", min_support=config.min_support):
+            itemsets = fn(
+                txns, config.min_support, max_length=config.max_length, **config.options
+            )
+        seconds = time.perf_counter() - t0
+        result = MiningRunResult(
+            algorithm=name,
+            min_support=config.min_support,
+            n_transactions=len(txns),
+        )
+        result.itemsets = itemsets
+        result.iterations = [
+            IterationStats(
+                k=0, seconds=seconds, n_candidates=-1, n_frequent=len(itemsets)
+            )
+        ]
+        result.trace = tracer
+        return result
+
+    run_oracle.__name__ = f"_run_{name}"
+    return run_oracle
+
+
+def _register_builtins() -> None:
+    register_algorithm(
+        "yafim", _run_yafim, needs_engine=True,
+        description="paper's algorithm on the RDD engine (default)",
+    )
+    register_algorithm(
+        "dist_eclat", _run_dist_eclat, needs_engine=True,
+        description="prefix-distributed parallel Eclat on the same engine",
+    )
+    register_algorithm(
+        "pfp", _run_pfp, needs_engine=True,
+        description="Parallel FP-Growth (Li et al.) on the same engine",
+    )
+    register_algorithm(
+        "mrapriori", _run_mrapriori,
+        description="MapReduce baseline (spins up an ephemeral mini-DFS)",
+    )
+    for oracle in ("apriori", "eclat", "fpgrowth"):
+        register_algorithm(
+            oracle, _make_oracle_runner(oracle),
+            description=f"sequential {oracle} oracle",
+        )
+
+
+_register_builtins()
+
+#: re-exported for `from repro.core.registry import *` ergonomics
+__all__ = [
+    "AlgorithmSpec",
+    "MiningConfig",
+    "algorithm_names",
+    "get_algorithm",
+    "register_algorithm",
+    "run_algorithm",
+    "unregister_algorithm",
+]

@@ -28,6 +28,66 @@ class IterationStats:
     hdfs_read_bytes: int = 0
     hdfs_write_bytes: int = 0
     shuffle_bytes: int = 0
+    # engine observability counters (uniform across all parallel miners)
+    cache_hit_rate: float = 0.0  # block-manager hits / (hits + misses); 0.0 when uncached
+    straggler_ratio: float = 0.0  # max task duration / mean task duration (>= 1.0)
+
+
+def engine_iteration_stats(
+    tasks,
+    *,
+    k: int,
+    seconds: float,
+    n_candidates: int,
+    n_frequent: int,
+    broadcast_bytes: int = 0,
+    closure_bytes: int = 0,
+    label: str | None = None,
+) -> IterationStats:
+    """Fold one iteration's engine task records into an :class:`IterationStats`.
+
+    ``tasks`` is the slice of :class:`~repro.engine.metrics.TaskMetrics`
+    the iteration executed (``event_log.tasks_since(mark)``); every
+    engine-backed miner routes its per-pass accounting through here so
+    shuffle bytes, cache hit rate and straggler ratio are reported
+    uniformly.
+    """
+    label = label or f"pass{k}"
+    by_stage: dict[int, list] = {}
+    for t in tasks:
+        by_stage.setdefault(t.stage_id, []).append(t)
+    records = []
+    shuffle_total = 0
+    for stage_id in sorted(by_stage):
+        ts = by_stage[stage_id]
+        write = sum(t.shuffle_write_bytes for t in ts)
+        records.append(
+            StageRecord(
+                label=f"{label}/stage{stage_id}",
+                task_durations=[t.duration_s for t in ts],
+                input_bytes=sum(t.input_bytes for t in ts),
+                shuffle_bytes=write,
+            )
+        )
+        shuffle_total += write
+    completed = [t for t in tasks if not t.kind.startswith("failed")]
+    hits = sum(t.cache_hits for t in completed)
+    misses = sum(t.cache_misses for t in completed)
+    durations = [t.duration_s for t in completed]
+    mean = sum(durations) / len(durations) if durations else 0.0
+    return IterationStats(
+        k=k,
+        seconds=seconds,
+        n_candidates=n_candidates,
+        n_frequent=n_frequent,
+        stage_records=records,
+        broadcast_bytes=broadcast_bytes,
+        closure_bytes=closure_bytes,
+        hdfs_read_bytes=sum(t.input_bytes for t in tasks),
+        shuffle_bytes=shuffle_total,
+        cache_hit_rate=hits / (hits + misses) if (hits + misses) else 0.0,
+        straggler_ratio=max(durations) / mean if durations and mean > 0 else 0.0,
+    )
 
 
 @dataclass
@@ -39,6 +99,10 @@ class MiningRunResult:
     n_transactions: int
     itemsets: dict = field(default_factory=dict)  # Itemset -> count
     iterations: list[IterationStats] = field(default_factory=list)
+    # observability: the run's Tracer and aggregate EngineMetrics (typed
+    # loosely to keep results importable without the engine package)
+    trace: object | None = field(default=None, repr=False)
+    engine_metrics: object | None = field(default=None, repr=False)
 
     @property
     def num_itemsets(self) -> int:

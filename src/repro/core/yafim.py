@@ -27,14 +27,14 @@ from __future__ import annotations
 import time
 from collections.abc import Iterable, Sequence
 
-from repro.cluster.simulation import StageRecord
 from repro.common.errors import MiningError
 from repro.common.itemset import canonical_transaction, contains, min_support_count
 from repro.core.candidates import apriori_gen
 from repro.core.hashtree import HashTree
-from repro.core.results import IterationStats, MiningRunResult
+from repro.core.results import IterationStats, MiningRunResult, engine_iteration_stats
 from repro.engine.context import Context
 from repro.engine.rdd import RDD
+from repro.engine.tracing import collect_engine_metrics
 
 
 def load_transactions_rdd(ctx: Context, dfs, path: str, sep: str | None = None) -> RDD:
@@ -164,10 +164,15 @@ class Yafim:
         while level and (max_length is None or k <= max_length):
             t0 = time.perf_counter()
             mark = self.ctx.event_log.mark()
-            candidates = apriori_gen(level.keys())
+            with self.ctx.tracer.span(f"apriori_gen k={k}", "driver", n_seed=len(level)):
+                candidates = apriori_gen(level.keys())
             if not candidates:
                 break
-            matcher = self._build_matcher(candidates)
+            with self.ctx.tracer.span(
+                f"hash_tree_build k={k}", "driver",
+                n_candidates=len(candidates), hash_tree=self.use_hash_tree,
+            ):
+                matcher = self._build_matcher(candidates)
             bc = self.ctx.broadcast(matcher) if self.use_broadcast else None
             bc_bytes = bc.size_bytes if bc is not None else 0
             closure_bytes = 0
@@ -207,6 +212,8 @@ class Yafim:
             if self.clear_shuffles:
                 self.ctx.clear_shuffle_outputs()
             k += 1
+        result.trace = self.ctx.tracer
+        result.engine_metrics = collect_engine_metrics(self.ctx)
         return result
 
     # -- helpers ---------------------------------------------------------------
@@ -224,34 +231,14 @@ class Yafim:
         mark: int, broadcast_bytes: int, closure_bytes: int = 0,
     ) -> IterationStats:
         """Fold this iteration's engine tasks into replayable stage records."""
-        tasks = self.ctx.event_log.tasks_since(mark)
-        by_stage: dict[int, list] = {}
-        for t in tasks:
-            by_stage.setdefault(t.stage_id, []).append(t)
-        records = []
-        shuffle_total = 0
-        for stage_id in sorted(by_stage):
-            ts = by_stage[stage_id]
-            write = sum(t.shuffle_write_bytes for t in ts)
-            records.append(
-                StageRecord(
-                    label=f"pass{k}/stage{stage_id}",
-                    task_durations=[t.duration_s for t in ts],
-                    input_bytes=sum(t.input_bytes for t in ts),
-                    shuffle_bytes=write,
-                )
-            )
-            shuffle_total += write
-        return IterationStats(
+        return engine_iteration_stats(
+            self.ctx.event_log.tasks_since(mark),
             k=k,
             seconds=seconds,
             n_candidates=n_candidates,
             n_frequent=n_frequent,
-            stage_records=records,
             broadcast_bytes=broadcast_bytes,
             closure_bytes=closure_bytes,
-            hdfs_read_bytes=sum(t.input_bytes for t in tasks),
-            shuffle_bytes=shuffle_total,
         )
 
 

@@ -41,6 +41,13 @@ from repro.engine.partitioner import (
 from repro.engine.rdd import RDD, ParallelCollectionRDD, ShuffledRDD, TextFileRDD, UnionRDD
 from repro.engine.statcounter import StatCounter
 from repro.engine.storage import BlockId, BlockManager, StorageLevel
+from repro.engine.tracing import (
+    EngineMetrics,
+    Span,
+    Tracer,
+    collect_engine_metrics,
+    export_chrome_trace,
+)
 
 __all__ = [
     "FLOAT_PARAM",
@@ -54,6 +61,7 @@ __all__ = [
     "Broadcast",
     "BroadcastManager",
     "Context",
+    "EngineMetrics",
     "EventLog",
     "FaultInjector",
     "HashPartitioner",
@@ -68,15 +76,19 @@ __all__ = [
     "RangePartitioner",
     "ShuffleDependency",
     "ShuffledRDD",
+    "Span",
     "StageSummary",
     "StatCounter",
     "StorageLevel",
     "TaskMetrics",
     "TextFileRDD",
+    "Tracer",
     "UnionRDD",
+    "collect_engine_metrics",
     "compute_range_bounds",
     "debug_string",
     "explain",
+    "export_chrome_trace",
     "stage_count",
     "to_networkx",
 ]

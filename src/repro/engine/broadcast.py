@@ -17,9 +17,13 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Any, Generic, TypeVar
+import time
+from typing import TYPE_CHECKING, Any, Generic, TypeVar
 
 from repro.common.sizeof import estimate_size
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.tracing import Tracer
 
 T = TypeVar("T")
 
@@ -68,17 +72,27 @@ class BroadcastManager:
     ``size_bytes`` — all later accesses are cache hits.
     """
 
-    def __init__(self):
+    def __init__(self, tracer: "Tracer | None" = None):
         self._counter = itertools.count()
         self._live: dict[int, Broadcast] = {}
         self._seen: set[tuple[int, str]] = set()
         self._lock = threading.Lock()
         self.transfers = 0
         self.transfer_bytes = 0
+        self.tracer = tracer
 
     def new_broadcast(self, value: Any) -> Broadcast:
+        t0 = time.perf_counter()
         bc = Broadcast(next(self._counter), value, self)
         self._live[bc.id] = bc
+        if self.tracer is not None:
+            self.tracer.add_span(
+                f"broadcast_publish b{bc.id}",
+                "broadcast",
+                t0,
+                time.perf_counter() - t0,
+                size_bytes=bc.size_bytes,
+            )
         return bc
 
     def record_access(self, bc: Broadcast) -> None:

@@ -29,6 +29,7 @@ from repro.engine.metrics import EventLog
 from repro.engine.rdd import RDD, ParallelCollectionRDD, TextFileRDD
 from repro.engine.shuffle import ShuffleManager
 from repro.engine.storage import BlockManager, StorageLevel
+from repro.engine.tracing import Tracer
 
 
 class Context:
@@ -54,12 +55,14 @@ class Context:
         parallelism: int | None = None,
         memory_limit_bytes: int | None = None,
         max_task_failures: int = 4,
+        tracing: bool = True,
     ):
         self.executor = make_executor(backend, parallelism)
         self.backend = backend
-        self.block_manager = BlockManager(memory_limit_bytes)
-        self.shuffle_manager = ShuffleManager()
-        self.broadcast_manager = BroadcastManager()
+        self.tracer = Tracer(enabled=tracing, label="engine")
+        self.block_manager = BlockManager(memory_limit_bytes, tracer=self.tracer)
+        self.shuffle_manager = ShuffleManager(tracer=self.tracer)
+        self.broadcast_manager = BroadcastManager(tracer=self.tracer)
         self.accumulators = AccumulatorRegistry()
         self.event_log = EventLog()
         self.fault_injector = FaultInjector()
@@ -124,7 +127,7 @@ class Context:
         """Drop all retained map outputs (iterative jobs call this between
         iterations to bound driver memory)."""
         self.shuffle_manager.clear()
-        self.scheduler._shuffle_stages.clear()
+        self.scheduler.reset_shuffle_state()
 
     def stop(self) -> None:
         if self._stopped:

@@ -52,8 +52,11 @@ class DAGScheduler:
             func=func,
             partitions=target,
         )
-        n_stages, n_tasks = self._execute_stage(final, counters=[0, 0])
-        results = self._final_results.pop(final.stage_id)
+        with self.context.tracer.span(
+            f"job-{job_id}", "job", n_partitions=len(target), rdd=type(rdd).__name__
+        ):
+            n_stages, n_tasks = self._execute_stage(final, counters=[0, 0])
+            results = self._final_results.pop(final.stage_id)
         self.context.event_log.record_job(
             JobSummary(
                 job_id=job_id,
@@ -94,6 +97,13 @@ class DAGScheduler:
             self._shuffle_stages[dep.shuffle_id] = stage
         return stage
 
+    def reset_shuffle_state(self) -> None:
+        """Forget completed shuffle stages so later jobs rebuild (and
+        re-run) them.  Pair with ``ShuffleManager.clear()`` — iterative
+        drivers call both between iterations via
+        :meth:`Context.clear_shuffle_outputs`."""
+        self._shuffle_stages.clear()
+
     # -- execution --------------------------------------------------------------
     def _execute_stage(self, stage: Stage, counters: list[int]) -> tuple[int, int]:
         """Run ``stage`` (parents first). Returns (stages_run, tasks_run)."""
@@ -105,25 +115,28 @@ class DAGScheduler:
         for parent in stage.parents:
             self._execute_stage(parent, counters)
 
-        tasks = self._make_tasks(stage)
-        results = self._run_with_retries(stage, tasks)
+        with self.context.tracer.span(
+            f"stage-{stage.stage_id}", "stage", kind=stage.kind
+        ):
+            tasks = self._make_tasks(stage)
+            results = self._run_with_retries(stage, tasks)
 
-        if isinstance(stage, ShuffleMapStage):
-            dep = stage.shuffle_dep
-            self.context.shuffle_manager.register_shuffle(
-                dep.shuffle_id, len(stage.rdd.partitions())
-            )
-            for res in results.values():
-                written = self.context.shuffle_manager.put_map_output(
-                    dep.shuffle_id, res.task.partition.index, res.value
+            if isinstance(stage, ShuffleMapStage):
+                dep = stage.shuffle_dep
+                self.context.shuffle_manager.register_shuffle(
+                    dep.shuffle_id, len(stage.rdd.partitions())
                 )
-                res.metrics.shuffle_write_bytes = written
-        else:
-            self._final_results[stage.stage_id] = {
-                p: res.value for p, res in results.items()
-            }
-        for res in results.values():
-            self._finish_task(res)
+                for res in results.values():
+                    written = self.context.shuffle_manager.put_map_output(
+                        dep.shuffle_id, res.task.partition.index, res.value
+                    )
+                    res.metrics.shuffle_write_bytes = written
+            else:
+                self._final_results[stage.stage_id] = {
+                    p: res.value for p, res in results.items()
+                }
+            for res in results.values():
+                self._finish_task(res)
         self.context.event_log.summarize_stage(stage.stage_id, stage.kind)
         counters[0] += 1
         counters[1] += len(tasks)
@@ -222,8 +235,30 @@ class DAGScheduler:
             kind=f"failed_{task.kind}",
         )
         self.context.event_log.record_task(metrics)
+        self.context.tracer.instant(
+            f"task-failed s{task.stage_id}p{task.partition.index}",
+            "task",
+            error=type(exc).__name__,
+            attempt=task.attempt,
+        )
 
     def _finish_task(self, res: TaskResult) -> None:
+        m = res.metrics
+        self.context.tracer.add_span(
+            f"task s{m.stage_id}p{m.partition}",
+            "task",
+            m.start_s,
+            m.duration_s,
+            track=m.worker_id or "driver",
+            stage=m.stage_id,
+            partition=m.partition,
+            attempt=m.attempt,
+            kind=m.kind,
+            shuffle_read_bytes=m.shuffle_read_bytes,
+            shuffle_write_bytes=m.shuffle_write_bytes,
+            cache_hits=m.cache_hits,
+            cache_misses=m.cache_misses,
+        )
         self.context.event_log.record_task(res.metrics)
         self.context.accumulators.merge_all(res.accumulator_deltas)
         for (rdd_id, part), data in res.cache_back.items():

@@ -20,6 +20,7 @@ class TaskMetrics:
     partition: int = -1
     attempt: int = 0
     kind: str = ""  # "shuffle_map" | "result"
+    start_s: float = 0.0  # perf_counter at task start (feeds the tracer)
     duration_s: float = 0.0
     records_in: int = 0
     records_out: int = 0

@@ -10,10 +10,16 @@ all-to-all exchange a real cluster would perform.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.common.errors import EngineError
 from repro.common.sizeof import estimate_size
+from repro.engine.task import current_worker_id
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.tracing import Tracer
 
 
 @dataclass
@@ -25,13 +31,14 @@ class ShuffleMetrics:
 
 
 class ShuffleManager:
-    def __init__(self):
+    def __init__(self, tracer: "Tracer | None" = None):
         # (shuffle_id, map_partition) -> list of buckets (one per reducer)
         self._outputs: dict[tuple[int, int], list[list]] = {}
         self._sizes: dict[tuple[int, int], list[int]] = {}
         self._expected_maps: dict[int, int] = {}
         self._lock = threading.Lock()
         self.metrics = ShuffleMetrics()
+        self.tracer = tracer
 
     def register_shuffle(self, shuffle_id: int, num_maps: int) -> None:
         with self._lock:
@@ -39,6 +46,7 @@ class ShuffleManager:
 
     def put_map_output(self, shuffle_id: int, map_partition: int, buckets: list[list]) -> int:
         """Store the bucketed output of one map task; returns bytes written."""
+        t0 = time.perf_counter()
         size_by_bucket = [estimate_size(b) if b else 0 for b in buckets]
         total = sum(size_by_bucket)
         with self._lock:
@@ -46,6 +54,15 @@ class ShuffleManager:
             self._sizes[(shuffle_id, map_partition)] = size_by_bucket
             self.metrics.blocks_written += sum(1 for b in buckets if b)
             self.metrics.bytes_written += total
+        if self.tracer is not None:
+            self.tracer.add_span(
+                f"shuffle_write s{shuffle_id}m{map_partition}",
+                "shuffle",
+                t0,
+                time.perf_counter() - t0,
+                track=current_worker_id(),
+                bytes=total,
+            )
         return total
 
     def is_complete(self, shuffle_id: int) -> bool:
@@ -63,6 +80,7 @@ class ShuffleManager:
         is missing (the stage ordering guarantees this never happens in a
         healthy run).
         """
+        t0 = time.perf_counter()
         with self._lock:
             expected = self._expected_maps.get(shuffle_id)
             if expected is None:
@@ -81,7 +99,16 @@ class ShuffleManager:
                 self.metrics.blocks_fetched += 1 if bucket else 0
                 self.metrics.bytes_fetched += size
                 fetched += size
-            return buckets, fetched
+        if self.tracer is not None:
+            self.tracer.add_span(
+                f"shuffle_read s{shuffle_id}r{reduce_partition}",
+                "shuffle",
+                t0,
+                time.perf_counter() - t0,
+                track=current_worker_id(),
+                bytes=fetched,
+            )
+        return buckets, fetched
 
     def remove_shuffle(self, shuffle_id: int) -> None:
         with self._lock:

@@ -83,6 +83,7 @@ class Task:
         ctx.preloaded_blocks = self.preloaded_blocks
         ctx.preloaded_shuffle = self.preloaded_shuffle
         t0 = time.perf_counter()
+        metrics.start_s = t0
         with ctx:
             if self.kind == "shuffle_map":
                 value = self._run_shuffle_map(ctx)

@@ -14,11 +14,16 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from enum import Enum
+from typing import TYPE_CHECKING
 
 from repro.common.sizeof import estimate_size
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.tracing import Tracer
 
 
 class StorageLevel(Enum):
@@ -52,7 +57,12 @@ class StorageMetrics:
 class BlockManager:
     """Thread-safe cached-partition store with LRU memory accounting."""
 
-    def __init__(self, memory_limit_bytes: int | None = None, spill_dir: str | None = None):
+    def __init__(
+        self,
+        memory_limit_bytes: int | None = None,
+        spill_dir: str | None = None,
+        tracer: "Tracer | None" = None,
+    ):
         self.memory_limit = memory_limit_bytes  # None = unbounded
         self._owns_spill = spill_dir is None
         self.spill_dir = spill_dir or tempfile.mkdtemp(prefix="blockmgr_")
@@ -62,19 +72,33 @@ class BlockManager:
         self._levels: dict[BlockId, StorageLevel] = {}
         self._lock = threading.RLock()
         self.metrics = StorageMetrics()
+        self.tracer = tracer
 
     # -- store -------------------------------------------------------------
     def put(self, block: BlockId, data: list, level: StorageLevel) -> None:
+        t0 = time.perf_counter()
         size = estimate_size(data)
         with self._lock:
             self._levels[block] = level
             if level is StorageLevel.DISK_ONLY:
                 self._spill(block, data, size)
-                return
-            self._mem[block] = (data, size)
-            self._mem.move_to_end(block)
-            self.metrics.memory_bytes += size
-            self._enforce_budget()
+            else:
+                self._mem[block] = (data, size)
+                self._mem.move_to_end(block)
+                self.metrics.memory_bytes += size
+                self._enforce_budget()
+        if self.tracer is not None:
+            from repro.engine.task import current_worker_id
+
+            self.tracer.add_span(
+                f"cache_store rdd{block.rdd_id}p{block.partition}",
+                "cache",
+                t0,
+                time.perf_counter() - t0,
+                track=current_worker_id(),
+                bytes=size,
+                level=level.value,
+            )
 
     def _spill(self, block: BlockId, data: list, size: int) -> None:
         path = os.path.join(self.spill_dir, block.filename())

@@ -22,11 +22,13 @@ import os
 import pickle
 import shutil
 import tempfile
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.common.errors import MapReduceError
+from repro.engine.tracing import Tracer
 from repro.hdfs.filesystem import MiniDfs
 from repro.hdfs.textio import compute_splits, read_split_lines
 from repro.mapreduce.counters import (
@@ -78,15 +80,25 @@ class JobRunner:
         ``"threads"``.
     parallelism:
         Worker threads for the threaded backend.
+    tracer:
+        Optional shared :class:`~repro.engine.tracing.Tracer`; the runner
+        creates its own when not given, so every job is always traced.
     """
 
-    def __init__(self, dfs: MiniDfs, backend: str = "serial", parallelism: int = 4):
+    def __init__(
+        self,
+        dfs: MiniDfs,
+        backend: str = "serial",
+        parallelism: int = 4,
+        tracer: Tracer | None = None,
+    ):
         if backend not in ("serial", "threads"):
             raise MapReduceError(f"unknown backend {backend!r}")
         self.dfs = dfs
         self.backend = backend
         self.parallelism = parallelism
         self.jobs_run = 0
+        self.tracer = tracer if tracer is not None else Tracer(label="mapreduce")
 
     # -- public --------------------------------------------------------------
     def run(self, spec: JobSpec) -> JobResult:
@@ -101,15 +113,20 @@ class JobRunner:
         dfs_before = self.dfs.metrics.snapshot()
         shuffle_dir = tempfile.mkdtemp(prefix=f"mr_shuffle_{self.jobs_run}_")
         try:
-            splits = [
-                (path, split)
-                for path in spec.input_paths
-                for split in compute_splits(self.dfs, path)
-            ]
-            if not splits:
-                raise MapReduceError(f"job {spec.name!r}: empty input")
-            self._run_map_phase(spec, splits, shuffle_dir, counters, metrics)
-            self._run_reduce_phase(spec, len(splits), shuffle_dir, counters, metrics)
+            with self.tracer.span(f"mr_job {spec.name}", "job", reducers=spec.num_reducers):
+                splits = [
+                    (path, split)
+                    for path in spec.input_paths
+                    for split in compute_splits(self.dfs, path)
+                ]
+                if not splits:
+                    raise MapReduceError(f"job {spec.name!r}: empty input")
+                with self.tracer.span(f"map_phase {spec.name}", "stage", n_tasks=len(splits)):
+                    self._run_map_phase(spec, splits, shuffle_dir, counters, metrics)
+                with self.tracer.span(
+                    f"reduce_phase {spec.name}", "stage", n_tasks=spec.num_reducers
+                ):
+                    self._run_reduce_phase(spec, len(splits), shuffle_dir, counters, metrics)
         finally:
             shutil.rmtree(shuffle_dir, ignore_errors=True)
         delta = self.dfs.metrics.delta(dfs_before)
@@ -139,7 +156,13 @@ class JobRunner:
                 output = self._combine(spec, output, task_counters)
             buckets = self._partition_and_sort(spec, output)
             shuffle_bytes = self._spill(shuffle_dir, task_id, buckets)
-            return time.perf_counter() - t0, task_counters, shuffle_bytes
+            duration = time.perf_counter() - t0
+            self.tracer.add_span(
+                f"map {spec.name}#{task_id}", "task", t0, duration,
+                track=threading.current_thread().name,
+                records=len(lines), shuffle_bytes=shuffle_bytes,
+            )
+            return duration, task_counters, shuffle_bytes
 
         results = self._run_tasks(map_task, list(enumerate(splits)))
         for dur, task_counters, shuffle_bytes in results:
@@ -210,7 +233,12 @@ class JobRunner:
             task_counters.increment(GROUP_TASK, REDUCE_OUTPUT_RECORDS, len(out_pairs))
             lines = [spec.output_formatter(k, v) for k, v in out_pairs]
             self.dfs.write_lines(f"{spec.output_path.rstrip('/')}/part-r-{r:05d}", lines)
-            return time.perf_counter() - t0, task_counters
+            duration = time.perf_counter() - t0
+            self.tracer.add_span(
+                f"reduce {spec.name}#{r}", "task", t0, duration,
+                track=threading.current_thread().name, records=len(merged),
+            )
+            return duration, task_counters
 
         results = self._run_tasks(reduce_task, list(range(spec.num_reducers)))
         for dur, task_counters in results:

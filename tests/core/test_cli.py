@@ -1,5 +1,7 @@
 """CLI tests (`python -m repro ...`)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -19,6 +21,20 @@ class TestParser:
             build_parser().parse_args(
                 ["mine", "--dataset", "chess", "--support", "0.5", "--algorithm", "nope"]
             )
+
+    def test_algorithm_choices_come_from_registry(self):
+        from repro.core.registry import algorithm_names, register_algorithm, unregister_algorithm
+
+        register_algorithm("parser_probe", lambda txns, cfg: None)
+        try:
+            args = build_parser().parse_args(
+                ["mine", "--dataset", "chess", "--support", "0.5",
+                 "--algorithm", "parser_probe"]
+            )
+            assert args.algorithm == "parser_probe"
+            assert "parser_probe" in algorithm_names()
+        finally:
+            unregister_algorithm("parser_probe")
 
 
 class TestMine:
@@ -59,6 +75,35 @@ class TestMine:
         out = capsys.readouterr().out
         assert rc == 0
         assert "=>" in out
+
+    def test_mine_num_partitions(self, tmp_path, capsys):
+        data = tmp_path / "t.dat"
+        data.write_text("a b\na b c\nb c\na b\n")
+        rc = main(
+            [
+                "mine", "--input", str(data), "--support", "0.5",
+                "--backend", "serial", "--num-partitions", "3",
+            ]
+        )
+        assert rc == 0
+
+    def test_mine_trace_out_writes_chrome_trace(self, tmp_path, capsys):
+        data = tmp_path / "t.dat"
+        data.write_text("a b\na b c\nb c\na b\n")
+        trace = tmp_path / "trace.json"
+        rc = main(
+            [
+                "mine", "--input", str(data), "--support", "0.5",
+                "--backend", "serial", "--trace-out", str(trace),
+            ]
+        )
+        assert rc == 0
+        assert "wrote chrome://tracing JSON" in capsys.readouterr().out
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert any(n.startswith("job-") for n in names)
+        assert any(n.startswith("broadcast_publish") for n in names)
+        assert any(n.startswith("hash_tree_build") for n in names)
 
     def test_mine_without_source_exits(self):
         with pytest.raises(SystemExit):
@@ -104,3 +149,17 @@ class TestCompare:
         assert rc == 0
         assert "speedup" in out
         assert "outputs identical: True" in out
+
+    def test_compare_trace_out_holds_both_systems(self, tmp_path, capsys):
+        trace = tmp_path / "both.json"
+        rc = main(
+            [
+                "compare", "--dataset", "medical", "--scale", "0.05",
+                "--support", "0.15", "--max-length", "2",
+                "--trace-out", str(trace),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert len(pids) == 2  # one trace process per system

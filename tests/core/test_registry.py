@@ -1,0 +1,160 @@
+"""Registry tests: plugging algorithms in, `MiningConfig`, the legacy shim."""
+
+import warnings
+
+import pytest
+
+from repro.algorithms import apriori
+from repro.common.errors import MiningError
+from repro.core.api import mine_frequent_itemsets
+from repro.core.registry import (
+    MiningConfig,
+    algorithm_names,
+    get_algorithm,
+    register_algorithm,
+    run_algorithm,
+    unregister_algorithm,
+)
+from repro.core.results import MiningRunResult
+
+TXNS = [
+    [1, 2],
+    [1, 3, 4, 5],
+    [2, 3, 4, 6],
+    [1, 2, 3, 4],
+    [1, 2, 3, 6],
+] * 6
+
+ORACLE = apriori(TXNS, 0.4)
+
+
+def _toy_result(txns, config):
+    result = MiningRunResult(
+        algorithm=config.algorithm,
+        min_support=config.min_support,
+        n_transactions=len(txns),
+    )
+    result.itemsets = apriori(txns, config.min_support, max_length=config.max_length)
+    return result
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = algorithm_names()
+        for name in ("yafim", "dist_eclat", "pfp", "mrapriori", "apriori", "eclat", "fpgrowth"):
+            assert name in names
+
+    def test_round_trip_custom_algorithm(self):
+        register_algorithm("toy", lambda txns, cfg: _toy_result(txns, cfg))
+        try:
+            assert "toy" in algorithm_names()
+            got = mine_frequent_itemsets(TXNS, 0.4, algorithm="toy")
+            assert got.itemsets == ORACLE
+            assert got.algorithm == "toy"
+        finally:
+            unregister_algorithm("toy")
+        assert "toy" not in algorithm_names()
+
+    def test_engine_runner_gets_context_and_observability(self):
+        seen = {}
+
+        def engine_toy(ctx, txns, config):
+            seen["ctx"] = ctx
+            rdd = ctx.parallelize(txns, 2)
+            seen["count"] = rdd.count()
+            return _toy_result(txns, config)
+
+        register_algorithm("toy_engine", engine_toy, needs_engine=True)
+        try:
+            got = mine_frequent_itemsets(TXNS, 0.4, algorithm="toy_engine", backend="serial")
+        finally:
+            unregister_algorithm("toy_engine")
+        assert seen["count"] == len(TXNS)
+        # The dispatcher attached the run's trace and folded metrics.
+        assert got.trace is seen["ctx"].tracer
+        assert got.engine_metrics is not None
+        assert got.engine_metrics.n_jobs >= 1
+        assert got.engine_metrics.n_tasks >= 2
+
+    def test_duplicate_registration_rejected(self):
+        register_algorithm("dup", lambda txns, cfg: _toy_result(txns, cfg))
+        try:
+            with pytest.raises(MiningError):
+                register_algorithm("dup", lambda txns, cfg: _toy_result(txns, cfg))
+            # overwrite=True replaces silently
+            register_algorithm(
+                "dup", lambda txns, cfg: _toy_result(txns, cfg), overwrite=True
+            )
+        finally:
+            unregister_algorithm("dup")
+
+    def test_get_unknown_algorithm_lists_names(self):
+        with pytest.raises(MiningError, match="yafim"):
+            get_algorithm("magic")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(MiningError):
+            register_algorithm("", lambda txns, cfg: None)
+
+
+class TestMiningConfig:
+    def test_validates_support(self):
+        with pytest.raises(MiningError):
+            MiningConfig(min_support=0.0)
+        with pytest.raises(MiningError):
+            MiningConfig(min_support=1.5)
+
+    def test_config_overload_matches_keywords(self):
+        via_config = mine_frequent_itemsets(
+            TXNS,
+            config=MiningConfig(min_support=0.4, algorithm="eclat"),
+        )
+        via_kwargs = mine_frequent_itemsets(TXNS, 0.4, algorithm="eclat")
+        assert via_config.itemsets == via_kwargs.itemsets == ORACLE
+
+    def test_config_conflicts_with_min_support(self):
+        with pytest.raises(MiningError):
+            mine_frequent_itemsets(
+                TXNS, 0.4, config=MiningConfig(min_support=0.4)
+            )
+
+    def test_min_support_required_without_config(self):
+        with pytest.raises(MiningError):
+            mine_frequent_itemsets(TXNS)
+
+    def test_run_algorithm_direct(self):
+        got = run_algorithm(TXNS, MiningConfig(min_support=0.4, algorithm="fpgrowth"))
+        assert got.itemsets == ORACLE
+
+
+class TestLegacyShim:
+    def test_positional_algorithm_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            got = mine_frequent_itemsets(TXNS, 0.4, "eclat")
+        assert got.algorithm == "eclat"
+        assert got.itemsets == ORACLE
+
+    def test_full_legacy_signature(self):
+        with pytest.warns(DeprecationWarning):
+            got = mine_frequent_itemsets(TXNS, 0.4, "yafim", None, "serial", None, 3)
+        assert got.itemsets == ORACLE
+
+    def test_too_many_positionals_is_type_error(self):
+        with pytest.raises(TypeError):
+            mine_frequent_itemsets(TXNS, 0.4, "yafim", None, "serial", None, 3, "extra")
+
+    def test_keyword_call_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            mine_frequent_itemsets(TXNS, 0.4, algorithm="eclat")
+
+
+class TestNoDispatchChain:
+    def test_api_has_no_per_algorithm_branching(self):
+        import inspect
+
+        import repro.core.api as api
+
+        src = inspect.getsource(api)
+        assert "if algorithm ==" not in src
+        assert "elif algorithm" not in src

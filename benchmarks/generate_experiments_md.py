@@ -111,6 +111,7 @@ SECTIONS = [
             "parallel_miners_retail",
             "fault_overhead",
             "straggler_study",
+            "serve_throughput",
         ],
         "The paper's related work surveys the wider parallel-FIM design "
         "space (Dist-Eclat, pattern growth) and motivates Spark partly by "
@@ -121,7 +122,12 @@ SECTIONS = [
         "Injected task failures and total cache loss change results not at "
         "all and cost far less than replication would. The discrete-event "
         "replay quantifies straggler headroom: the near-linear speedup "
-        "story survives ~5% stragglers and degrades sharply past 10%.",
+        "story survives ~5% stragglers and degrades sharply past 10%. "
+        "The serving layer (`repro.serve`) lifts the paper's "
+        "cache-across-passes idea to cache-across-requests: served "
+        "concurrent submission costs no more wall time than one-shot "
+        "sequential runs, and an identical resubmission hits the result "
+        "cache two orders of magnitude faster than a cold job.",
     ),
 ]
 

@@ -10,6 +10,12 @@ Commands
 ``compare``
     Run the YAFIM-vs-MRApriori comparison on a generated dataset and
     print the per-pass table (the paper's Fig. 3 view).
+``serve``
+    Run the multi-tenant mining service (job queue + caches) behind the
+    JSON/HTTP front-end, in the foreground.
+``submit``
+    Submit a mining job to a running server, poll it to completion, and
+    print the result like ``mine`` does.
 
 Examples::
 
@@ -17,6 +23,8 @@ Examples::
     python -m repro mine --input m.dat --support 0.35 --algorithm yafim
     python -m repro mine --dataset chess --support 0.85 --rules 0.9
     python -m repro compare --dataset medical --support 0.03
+    python -m repro serve --port 8080 --workers 4
+    python -m repro submit --url http://127.0.0.1:8080 --dataset chess --support 0.85
 """
 
 from __future__ import annotations
@@ -145,6 +153,73 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serve.http import MiningServer
+
+    server = MiningServer(
+        host=args.host,
+        port=args.port,
+        quiet=args.quiet,
+        n_workers=args.workers,
+        dataset_cache_bytes=args.dataset_cache_bytes,
+        result_cache_entries=args.result_cache_entries,
+        result_ttl_s=args.result_ttl,
+        default_timeout_s=args.job_timeout,
+    )
+    print(
+        f"serving on {server.url}  "
+        f"(workers={args.workers}, result_ttl={args.result_ttl:g}s; Ctrl-C to stop)",
+        flush=True,
+    )
+    server.serve_forever()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from repro.core.registry import MiningConfig
+    from repro.serve.client import HttpClient
+    from repro.serve.http import itemsets_from_payload
+
+    _, txns = _load_transactions(args)
+    client = HttpClient(args.url)
+    snapshot = client.submit(
+        txns,
+        MiningConfig(
+            min_support=args.support,
+            algorithm=args.algorithm,
+            max_length=args.max_length,
+            backend=args.backend,
+            parallelism=args.parallelism,
+            num_partitions=args.num_partitions,
+        ),
+        priority=args.priority,
+        timeout_s=args.timeout,
+        max_retries=args.max_retries,
+    )
+    job_id = snapshot["job_id"]
+    print(f"submitted {job_id} (state={snapshot['state']}, via={snapshot['via']})")
+    if args.no_wait:
+        return 0
+    final = client.wait(job_id, timeout=args.poll_timeout)
+    if final["state"] != "done":
+        print(f"error: job {job_id} ended {final['state']}: {final.get('error')}",
+              file=sys.stderr)
+        return 2
+    payload = client.result_detail(job_id)
+    itemsets = itemsets_from_payload(payload)
+    print(
+        f"{payload['algorithm']}: {payload['num_itemsets']} frequent itemsets "
+        f"(minsup={payload['min_support']:g}, |D|={payload['n_transactions']}, "
+        f"via={payload['via']}, run={final.get('run_seconds')}s)"
+    )
+    shown = sorted(itemsets.items(), key=lambda kv: (-kv[1], kv[0]))
+    for itemset, count in shown[: args.top]:
+        print(f"  {' '.join(map(str, itemset)):40s} {count}")
+    if len(shown) > args.top:
+        print(f"  ... and {len(shown) - args.top} more")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="YAFIM reproduction command line"
@@ -156,23 +231,28 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.05, help="dataset scale")
         p.add_argument("--seed", type=int, default=0)
 
-    # CLI choices derive from the registry, so `register_algorithm` plugs
-    # new miners into `--algorithm` without touching this file.
+    # CLI choices derive from the registry (and the engine's BACKENDS
+    # tuple), so `register_algorithm` plugs new miners into `--algorithm`
+    # without touching this file, and a backend typo fails at parse time.
     from repro.core.registry import algorithm_names
+    from repro.engine.executors import BACKENDS
+
+    def mining_knobs(p):
+        p.add_argument("--support", type=float, required=True)
+        p.add_argument("--algorithm", default="yafim", choices=algorithm_names())
+        p.add_argument("--max-length", type=int, default=None)
+        p.add_argument("--backend", default="threads", choices=BACKENDS)
+        p.add_argument("--parallelism", type=int, default=None)
+        p.add_argument(
+            "--num-partitions", type=int, default=None,
+            help="partitions for the transaction RDD and shuffles",
+        )
+        p.add_argument("--top", type=int, default=15, help="itemsets/rules to print")
 
     mine = sub.add_parser("mine", help="mine frequent itemsets")
     common(mine)
     mine.add_argument("--input", help="transaction file (one txn per line)")
-    mine.add_argument("--support", type=float, required=True)
-    mine.add_argument("--algorithm", default="yafim", choices=algorithm_names())
-    mine.add_argument("--max-length", type=int, default=None)
-    mine.add_argument("--backend", default="threads")
-    mine.add_argument("--parallelism", type=int, default=None)
-    mine.add_argument(
-        "--num-partitions", type=int, default=None,
-        help="partitions for the transaction RDD and shuffles",
-    )
-    mine.add_argument("--top", type=int, default=15, help="itemsets/rules to print")
+    mining_knobs(mine)
     mine.add_argument(
         "--rules", type=float, default=None, metavar="CONF",
         help="also emit association rules at this confidence",
@@ -198,6 +278,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="write both runs' chrome://tracing JSON here",
     )
     cmp_.set_defaults(func=cmd_compare)
+
+    serve = sub.add_parser("serve", help="run the mining service over HTTP")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="0 = ephemeral")
+    serve.add_argument("--workers", type=int, default=4, help="worker threads")
+    serve.add_argument(
+        "--dataset-cache-bytes", type=int, default=64 * 1024 * 1024,
+        help="byte budget for the cross-job dataset cache",
+    )
+    serve.add_argument(
+        "--result-cache-entries", type=int, default=256,
+        help="LRU size of the result memoizer",
+    )
+    serve.add_argument(
+        "--result-ttl", type=float, default=300.0,
+        help="seconds a memoized result stays fresh",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="default per-job timeout in seconds (none = unbounded)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request access logs",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit a job to a running server")
+    common(submit)
+    submit.add_argument("--input", help="transaction file (one txn per line)")
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="server base URL",
+    )
+    mining_knobs(submit)
+    submit.add_argument("--priority", type=int, default=0, help="lower runs first")
+    submit.add_argument(
+        "--timeout", type=float, default=None, help="server-side job timeout (s)",
+    )
+    submit.add_argument(
+        "--max-retries", type=int, default=0,
+        help="retries for transient engine faults",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true", help="print the job id and exit",
+    )
+    submit.add_argument(
+        "--poll-timeout", type=float, default=300.0,
+        help="seconds to poll before giving up",
+    )
+    submit.set_defaults(func=cmd_submit)
     return parser
 
 

@@ -33,6 +33,8 @@ imports stay inside the runner bodies so importing this module is cheap.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
@@ -63,6 +65,33 @@ class MiningConfig:
             raise MiningError(
                 f"min_support must be in (0, 1], got {self.min_support}"
             )
+
+    def canonical(self) -> dict:
+        """JSON-safe dict with deterministic ordering — the serialized form
+        used by :meth:`cache_key`, the serving API, and bench reports."""
+        return {
+            "min_support": self.min_support,
+            "algorithm": self.algorithm,
+            "max_length": self.max_length,
+            "backend": self.backend,
+            "parallelism": self.parallelism,
+            "num_partitions": self.num_partitions,
+            "options": {str(k): self.options[k] for k in sorted(self.options, key=str)},
+        }
+
+    def cache_key(self) -> str:
+        """Stable content hash of this config (hex sha256).
+
+        Two configs with equal fields — regardless of ``options`` insertion
+        order — produce the same key, so ``(dataset_fingerprint, cache_key)``
+        identifies a mining run for memoization.  ``options`` values that are
+        not JSON-serializable fall back to ``repr`` (stable for the value
+        types miners accept: bools, numbers, strings).
+        """
+        payload = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":"), default=repr
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -123,15 +152,37 @@ def algorithm_names() -> list[str]:
     return sorted(_REGISTRY)
 
 
-def run_algorithm(transactions: Iterable[Sequence], config: MiningConfig) -> MiningRunResult:
-    """Dispatch one mining run through the registry."""
+def run_algorithm(
+    transactions: Iterable[Sequence],
+    config: MiningConfig,
+    *,
+    ctx=None,
+) -> MiningRunResult:
+    """Dispatch one mining run through the registry.
+
+    ``ctx`` optionally supplies a live engine :class:`Context` for
+    engine-backed algorithms, instead of the default ephemeral one — the
+    serving layer passes a warm context here so executor-pool startup is
+    paid once per worker, not once per job.  The caller owns the context's
+    lifecycle (and should :meth:`~repro.engine.context.Context.renew_run`
+    it between runs if per-run metrics matter); non-engine algorithms
+    ignore ``ctx``.
+    """
     spec = get_algorithm(config.algorithm)
-    txns = list(transactions)
+    txns = transactions if isinstance(transactions, list) else list(transactions)
     if not spec.needs_engine:
         return spec.runner(txns, config)
 
     from repro.engine.context import Context
     from repro.engine.tracing import collect_engine_metrics
+
+    if ctx is not None:
+        result = spec.runner(ctx, txns, config)
+        if result.trace is None:
+            result.trace = ctx.tracer
+        if result.engine_metrics is None:
+            result.engine_metrics = collect_engine_metrics(ctx)
+        return result
 
     with Context(backend=config.backend, parallelism=config.parallelism) as ctx:
         result = spec.runner(ctx, txns, config)

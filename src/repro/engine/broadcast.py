@@ -109,6 +109,15 @@ class BroadcastManager:
     def unregister(self, bc: Broadcast) -> None:
         self._live.pop(bc.id, None)
 
+    def reset(self) -> None:
+        """Drop all live broadcasts and zero the transfer counters (used by
+        :meth:`~repro.engine.context.Context.renew_run` between served jobs)."""
+        with self._lock:
+            self._live.clear()
+            self._seen.clear()
+            self.transfers = 0
+            self.transfer_bytes = 0
+
     @property
     def live_count(self) -> int:
         return len(self._live)

@@ -123,6 +123,35 @@ class Context:
         return self._rdd_levels.get(rdd_id)
 
     # -- housekeeping ------------------------------------------------------
+    def renew_run(self, label: str | None = None) -> None:
+        """Reset per-run observability state so this context can host a new,
+        independently measured run (the serving layer reuses one warm context
+        across jobs to amortize executor-pool startup, exactly as an inference
+        server amortizes model load).
+
+        Keeps the expensive parts — the executor pool and its workers — and
+        discards everything a fresh :class:`Context` would start without:
+        retained shuffle outputs, the event log, the tracer, per-run metric
+        counters, fault-injection rules and cached-level snapshots.
+        """
+        self._check_alive()
+        self.clear_shuffle_outputs()
+        self.tracer = Tracer(enabled=self.tracer.enabled, label=label or self.tracer.label)
+        for manager in (self.block_manager, self.shuffle_manager, self.broadcast_manager):
+            manager.tracer = self.tracer
+        self.event_log = EventLog()
+        self.fault_injector.clear()
+        self._rdd_levels.clear()
+        # Fresh hit/miss counters; memory_bytes/disk_bytes track live blocks
+        # and must survive the renewal.
+        storage = self.block_manager.metrics
+        storage.memory_hits = storage.disk_hits = storage.misses = 0
+        storage.evictions = storage.spills = 0
+        from repro.engine.shuffle import ShuffleMetrics
+
+        self.shuffle_manager.metrics = ShuffleMetrics()
+        self.broadcast_manager.reset()
+
     def clear_shuffle_outputs(self) -> None:
         """Drop all retained map outputs (iterative jobs call this between
         iterations to bound driver memory)."""

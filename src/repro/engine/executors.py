@@ -129,6 +129,12 @@ class ProcessExecutor(Executor):
         self._pool.shutdown(wait=True)
 
 
+#: Valid ``backend=`` names, in documentation order.  The CLI derives its
+#: ``--backend`` choices from this tuple so typos fail at argument parsing
+#: instead of deep inside the engine.
+BACKENDS = ("serial", "threads", "processes")
+
+
 def make_executor(backend: str, parallelism: int | None = None) -> Executor:
     """Factory: ``"serial"``, ``"threads"`` or ``"processes"``."""
     if backend == "serial":
@@ -137,4 +143,6 @@ def make_executor(backend: str, parallelism: int | None = None) -> Executor:
         return ThreadExecutor(parallelism or max(2, (os.cpu_count() or 2)))
     if backend == "processes":
         return ProcessExecutor(parallelism)
-    raise ValueError(f"unknown executor backend {backend!r}")
+    raise ValueError(
+        f"unknown executor backend {backend!r}; valid backends: {', '.join(BACKENDS)}"
+    )

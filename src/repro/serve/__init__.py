@@ -1,0 +1,40 @@
+"""``repro.serve`` — the multi-tenant mining service.
+
+One :class:`MiningService` turns the one-shot mining API into a serving
+layer: a priority job queue over a bounded worker pool, a cross-job
+dataset cache, warm engine contexts, and result memoization — the same
+amortize-the-repeated-cost move the YAFIM paper makes for Apriori passes,
+applied across requests.  :class:`MiningServer` puts it behind a stdlib
+JSON/HTTP front-end; :class:`LocalClient` / :class:`HttpClient` are the
+two transports.  See ``docs/serving.md``.
+"""
+
+from repro.serve.cache import (
+    ContextPool,
+    DatasetCache,
+    LruByteCache,
+    ResultCache,
+    dataset_fingerprint,
+)
+from repro.serve.client import HttpClient, LocalClient
+from repro.serve.http import MiningServer, config_from_dict
+from repro.serve.jobs import Job, JobRequest, JobState, ServeError, TERMINAL_STATES
+from repro.serve.service import MiningService
+
+__all__ = [
+    "ContextPool",
+    "DatasetCache",
+    "HttpClient",
+    "Job",
+    "JobRequest",
+    "JobState",
+    "LocalClient",
+    "LruByteCache",
+    "MiningServer",
+    "MiningService",
+    "ResultCache",
+    "ServeError",
+    "TERMINAL_STATES",
+    "config_from_dict",
+    "dataset_fingerprint",
+]

@@ -1,0 +1,261 @@
+"""Cross-job caches: parsed datasets, warm engine contexts, memoized results.
+
+The YAFIM paper's core win is keeping the transaction data resident in
+memory across Apriori passes instead of re-reading it from HDFS each
+pass.  The serving layer lifts the same idea one level up — across
+*jobs*:
+
+* :class:`DatasetCache` keeps parsed transaction lists resident, keyed by
+  content fingerprint, LRU-evicted against a byte budget (sizes come from
+  :func:`repro.common.sizeof.estimate_size`, the block manager's own
+  estimator).
+* :class:`ContextPool` keeps warm engine :class:`Context` instances —
+  executor pools are the model-load analogue; spinning one up per job is
+  the repeated cost the pool amortizes.
+* :class:`ResultCache` memoizes ``(dataset_fingerprint, config.cache_key())``
+  → :class:`~repro.core.results.MiningRunResult` with TTL + LRU, so an
+  identical resubmission returns without touching the engine at all.
+
+All three are thread-safe; workers and the HTTP front-end hit them
+concurrently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Iterable, Sequence
+
+from repro.common.sizeof import estimate_size
+
+
+def dataset_fingerprint(transactions: Iterable[Sequence]) -> str:
+    """Content hash of a transaction list (hex sha256, order-sensitive).
+
+    Items are rendered with ``str`` — the same rendering the ``.dat`` file
+    format uses — so a dataset fingerprints identically whether it arrived
+    as parsed ints or as strings read back from disk.
+    """
+    h = hashlib.sha256()
+    for txn in transactions:
+        h.update(" ".join(str(i) for i in txn).encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+class LruByteCache:
+    """LRU mapping with a byte budget and hit/miss/eviction counters.
+
+    Entry sizes are estimated once at insert.  A single entry larger than
+    the whole budget is still admitted (evicting everything else) — the
+    service must be able to run any dataset it accepted, cached or not.
+    """
+
+    def __init__(self, max_bytes: int):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[object, int]] = OrderedDict()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str, default=None):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def put(self, key: str, value: object) -> None:
+        size = estimate_size(value)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.current_bytes -= old[1]
+            self._entries[key] = (value, size)
+            self.current_bytes += size
+            while self.current_bytes > self.max_bytes and len(self._entries) > 1:
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self.current_bytes -= evicted_size
+                self.evictions += 1
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self.current_bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hit_rate, 4),
+            }
+
+
+class DatasetCache(LruByteCache):
+    """Parsed transaction lists keyed by :func:`dataset_fingerprint`."""
+
+    def add(self, transactions: list) -> str:
+        """Fingerprint ``transactions``, cache them, return the fingerprint.
+
+        Re-adding an already cached dataset refreshes its LRU position but
+        does not count as a miss.
+        """
+        fp = dataset_fingerprint(transactions)
+        with self._lock:
+            if fp in self._entries:
+                self._entries.move_to_end(fp)
+                return fp
+        self.put(fp, transactions)
+        return fp
+
+
+class ResultCache:
+    """``(dataset_fingerprint, config_key)`` → result, with TTL + LRU."""
+
+    def __init__(self, max_entries: int = 256, ttl_s: float = 300.0):
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        if ttl_s <= 0:
+            raise ValueError(f"ttl_s must be positive, got {ttl_s}")
+        self.max_entries = max_entries
+        self.ttl_s = ttl_s
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, tuple[object, float]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def get(self, key: tuple, now: float | None = None):
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            value, expires_s = entry
+            if now >= expires_s:
+                del self._entries[key]
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: tuple, value: object, now: float | None = None) -> None:
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = (value, now + self.ttl_s)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "ttl_s": self.ttl_s,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "hit_rate": round(self.hit_rate, 4),
+            }
+
+
+class ContextPool:
+    """Warm engine contexts keyed by ``(backend, parallelism)``.
+
+    ``acquire`` hands out an idle context (renewed, so its tracer/metrics
+    are per-job) or creates one; ``release`` returns it to the idle pool
+    or stops it when the pool is full.  A context is never shared by two
+    concurrent runs — an abandoned (timed-out) run keeps its context
+    checked out until the stray thread actually finishes, then releases
+    it from that thread's ``finally``.
+    """
+
+    def __init__(self, max_idle_per_key: int = 2):
+        self.max_idle_per_key = max_idle_per_key
+        self._lock = threading.Lock()
+        self._idle: dict[tuple, list] = {}
+        self.created = 0
+        self.reused = 0
+        self._closed = False
+
+    def acquire(self, backend: str, parallelism: int | None, *, label: str = "engine"):
+        from repro.engine.context import Context
+
+        key = (backend, parallelism)
+        with self._lock:
+            idle = self._idle.get(key)
+            ctx = idle.pop() if idle else None
+            if ctx is not None:
+                self.reused += 1
+        if ctx is not None:
+            ctx.renew_run(label=label)
+            return ctx
+        with self._lock:
+            self.created += 1
+        ctx = Context(backend=backend, parallelism=parallelism)
+        ctx._pool_key = key
+        return ctx
+
+    def release(self, ctx) -> None:
+        key = getattr(ctx, "_pool_key", (ctx.backend, None))
+        with self._lock:
+            if not self._closed:
+                idle = self._idle.setdefault(key, [])
+                if len(idle) < self.max_idle_per_key:
+                    idle.append(ctx)
+                    return
+        ctx.stop()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            contexts = [c for pool in self._idle.values() for c in pool]
+            self._idle.clear()
+        for ctx in contexts:
+            ctx.stop()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "idle": sum(len(v) for v in self._idle.values()),
+                "created": self.created,
+                "reused": self.reused,
+            }

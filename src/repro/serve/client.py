@@ -1,0 +1,160 @@
+"""Clients for the mining service: in-process and over HTTP.
+
+:class:`LocalClient` talks to a :class:`~repro.serve.service.MiningService`
+directly (zero serialization — the embedded deployment); :class:`HttpClient`
+speaks the JSON protocol of :mod:`repro.serve.http` with nothing beyond
+``urllib``.  Both expose the same verbs (``submit`` / ``status`` /
+``result`` / ``wait`` / ``cancel``) plus a blocking ``mine`` convenience
+that round-trips one request, so tests and benchmarks can swap transports.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.core.registry import MiningConfig
+from repro.serve.jobs import JobState, ServeError, TERMINAL_STATES
+from repro.serve.service import MiningService
+
+#: job states (as strings) in which polling should stop
+TERMINAL_STATE_VALUES = frozenset(s.value for s in TERMINAL_STATES)
+
+
+class LocalClient:
+    """In-process client: thin sugar over a service you already hold."""
+
+    def __init__(self, service: MiningService):
+        self.service = service
+
+    def submit(self, transactions, config: MiningConfig, **submit_kwargs):
+        return self.service.submit(transactions, config, **submit_kwargs)
+
+    def status(self, job_id: str) -> dict:
+        return self.service.get(job_id).snapshot()
+
+    def wait(self, job_id: str, timeout: float | None = None):
+        job = self.service.wait(job_id, timeout)
+        if not job.is_terminal:
+            raise ServeError(f"job {job_id} still {job.state.value} after {timeout}s")
+        return job
+
+    def result(self, job_id: str) -> dict:
+        """The job's mined itemsets (raises unless DONE)."""
+        job = self.service.get(job_id)
+        if job.state is not JobState.DONE:
+            raise ServeError(f"job {job_id} is {job.state.value}, not done")
+        return dict(job.result.itemsets)
+
+    def cancel(self, job_id: str) -> bool:
+        return self.service.cancel(job_id)
+
+    def mine(self, transactions, config: MiningConfig, timeout: float | None = None):
+        """Submit, wait, and return the full :class:`MiningRunResult`."""
+        job = self.wait(self.submit(transactions, config).job_id, timeout)
+        if job.state is not JobState.DONE:
+            raise ServeError(f"job {job.job_id} ended {job.state.value}: {job.error}")
+        return job.result
+
+
+class HttpClient:
+    """JSON-over-HTTP client for a running :class:`MiningServer`."""
+
+    def __init__(self, base_url: str, poll_interval_s: float = 0.05):
+        self.base_url = base_url.rstrip("/")
+        self.poll_interval_s = poll_interval_s
+
+    # -- transport ---------------------------------------------------------
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as err:
+            try:
+                detail = json.loads(err.read()).get("error", "")
+            except Exception:  # noqa: BLE001 - best-effort error body
+                detail = ""
+            raise ServeError(
+                f"{method} {path} -> HTTP {err.code}: {detail or err.reason}"
+            ) from err
+        except urllib.error.URLError as err:
+            raise ServeError(f"cannot reach {self.base_url}: {err.reason}") from err
+
+    # -- verbs -------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def submit(
+        self,
+        transactions,
+        config: MiningConfig | dict,
+        *,
+        priority: int = 0,
+        timeout_s: float | None = None,
+        max_retries: int = 0,
+    ) -> dict:
+        """POST the job; returns the server's job snapshot (``job_id`` etc.)."""
+        if isinstance(config, MiningConfig):
+            config = config.canonical()
+        payload = {
+            "transactions": [list(t) for t in transactions],
+            "config": config,
+            "priority": priority,
+            "max_retries": max_retries,
+        }
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        return self._request("POST", "/jobs", payload)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(self._request("DELETE", f"/jobs/{job_id}").get("cancelled"))
+
+    def wait(self, job_id: str, timeout: float | None = None) -> dict:
+        """Poll until the job is terminal; returns the final snapshot."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            snapshot = self.status(job_id)
+            if snapshot["state"] in TERMINAL_STATE_VALUES:
+                return snapshot
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {snapshot['state']} after {timeout}s"
+                )
+            time.sleep(self.poll_interval_s)
+
+    def result_detail(self, job_id: str) -> dict:
+        """The raw ``GET /results/<id>`` payload (raises unless DONE)."""
+        return self._request("GET", f"/results/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The job's itemsets as ``{tuple(items): count}`` (raises unless DONE)."""
+        from repro.serve.http import itemsets_from_payload
+
+        return itemsets_from_payload(self.result_detail(job_id))
+
+    def mine(
+        self, transactions, config: MiningConfig | dict, timeout: float | None = None
+    ) -> dict:
+        """Submit, poll to completion, return the itemsets mapping."""
+        snapshot = self.submit(transactions, config)
+        final = self.wait(snapshot["job_id"], timeout)
+        if final["state"] != JobState.DONE.value:
+            raise ServeError(
+                f"job {final['job_id']} ended {final['state']}: {final.get('error')}"
+            )
+        return self.result(final["job_id"])

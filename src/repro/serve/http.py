@@ -1,0 +1,260 @@
+"""Stdlib HTTP front-end for :class:`~repro.serve.service.MiningService`.
+
+JSON over ``http.server`` — no third-party dependencies:
+
+=======================  ====================================================
+``POST /jobs``           submit ``{"transactions": [[...], ...],
+                         "config": {"min_support": ..., ...},
+                         "priority"/"timeout_s"/"max_retries"}`` → 202 with
+                         the job snapshot (200 when memoized)
+``GET /jobs/<id>``       lifecycle snapshot (state, attempts, timings...)
+``DELETE /jobs/<id>``    cancel (queued or running)
+``GET /results/<id>``    mined itemsets once DONE (409 with the state
+                         while the job is still in flight)
+``GET /healthz``         liveness + worker count
+``GET /metrics``         queue depth, per-state job counts, cache hit
+                         rates, per-job engine-metrics summaries
+=======================  ====================================================
+
+``MiningServer`` runs the whole stack in-process on an ephemeral port —
+the tests and the CI smoke step use it; ``repro serve`` keeps it in the
+foreground.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import fields as dataclass_fields
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.common.errors import MiningError
+from repro.core.registry import MiningConfig
+from repro.serve.jobs import JobState, ServeError
+from repro.serve.service import MiningService
+
+_CONFIG_FIELDS = {f.name for f in dataclass_fields(MiningConfig)}
+
+
+def config_from_dict(payload: dict) -> MiningConfig:
+    """Build a :class:`MiningConfig` from a JSON object, rejecting unknown
+    keys with a clear error instead of a ``TypeError`` deep in dataclasses."""
+    if not isinstance(payload, dict):
+        raise ServeError(f"config must be an object, got {type(payload).__name__}")
+    unknown = set(payload) - _CONFIG_FIELDS
+    if unknown:
+        raise ServeError(
+            f"unknown config field(s) {sorted(unknown)}; valid: {sorted(_CONFIG_FIELDS)}"
+        )
+    if "min_support" not in payload:
+        raise ServeError("config.min_support is required")
+    return MiningConfig(**payload)
+
+
+def result_payload(job) -> dict:
+    """JSON form of a DONE job's :class:`MiningRunResult`."""
+    result = job.result
+    return {
+        "job_id": job.job_id,
+        "algorithm": result.algorithm,
+        "min_support": result.min_support,
+        "n_transactions": result.n_transactions,
+        "num_itemsets": result.num_itemsets,
+        "total_seconds": result.total_seconds,
+        "via": job.via,
+        "itemsets": [[list(itemset), count] for itemset, count in result.itemsets.items()],
+    }
+
+
+def itemsets_from_payload(payload: dict) -> dict:
+    """Inverse of :func:`result_payload` for the ``itemsets`` field."""
+    return {tuple(itemset): count for itemset, count in payload["itemsets"]}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> MiningService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args):  # noqa: A003 - stdlib signature
+        if not self.server.quiet:  # type: ignore[attr-defined]
+            super().log_message(fmt, *args)
+
+    # -- plumbing ----------------------------------------------------------
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServeError("request body required")
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as err:
+            raise ServeError(f"invalid JSON body: {err}") from err
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object")
+        return payload
+
+    def _job_or_404(self, job_id: str):
+        try:
+            return self.service.get(job_id)
+        except ServeError:
+            self._send_json(404, {"error": f"unknown job {job_id!r}"})
+            return None
+
+    # -- routes ------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.rstrip("/")
+        if path == "/healthz":
+            self._send_json(
+                200, {"status": "ok", "workers": len(self.service._workers)}
+            )
+        elif path == "/metrics":
+            self._send_json(200, self.service.metrics())
+        elif path.startswith("/jobs/"):
+            job = self._job_or_404(path.removeprefix("/jobs/"))
+            if job is not None:
+                self._send_json(200, job.snapshot())
+        elif path.startswith("/results/"):
+            job = self._job_or_404(path.removeprefix("/results/"))
+            if job is None:
+                return
+            if job.state is JobState.DONE:
+                self._send_json(200, result_payload(job))
+            else:
+                self._send_json(
+                    409,
+                    {"error": f"job is {job.state.value}, not done", **job.snapshot()},
+                )
+        else:
+            self._send_json(404, {"error": f"no route for GET {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path.rstrip("/") != "/jobs":
+            self._send_json(404, {"error": f"no route for POST {self.path}"})
+            return
+        try:
+            payload = self._read_json()
+            transactions = payload.get("transactions")
+            if not isinstance(transactions, list) or not transactions:
+                raise ServeError("transactions must be a non-empty list of lists")
+            config = config_from_dict(payload.get("config") or {})
+            job = self.service.submit(
+                transactions,
+                config,
+                priority=int(payload.get("priority", 0)),
+                timeout_s=payload.get("timeout_s"),
+                max_retries=int(payload.get("max_retries", 0)),
+            )
+        except (ServeError, MiningError) as err:
+            self._send_json(400, {"error": str(err)})
+            return
+        self._send_json(200 if job.is_terminal else 202, job.snapshot())
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        path = self.path.rstrip("/")
+        if not path.startswith("/jobs/"):
+            self._send_json(404, {"error": f"no route for DELETE {self.path}"})
+            return
+        job = self._job_or_404(path.removeprefix("/jobs/"))
+        if job is not None:
+            cancelled = self.service.cancel(job.job_id)
+            self._send_json(200, {"job_id": job.job_id, "cancelled": cancelled})
+
+
+class MiningServer:
+    """A :class:`MiningService` behind a threading HTTP server.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``)::
+
+        with MiningServer(port=0, n_workers=4) as server:
+            client = HttpClient(server.url)
+            ...
+
+    The server owns its service unless one is passed in.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        service: MiningService | None = None,
+        quiet: bool = True,
+        **service_kwargs,
+    ):
+        self._owns_service = service is None
+        self.service = service or MiningService(**service_kwargs)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = self.service  # type: ignore[attr-defined]
+        self._httpd.quiet = quiet  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        self._serving = False
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MiningServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._serving = True
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-serve-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``repro serve`` CLI path)."""
+        try:
+            self._serving = True
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive path
+            pass
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        if self._serving:
+            self._serving = False
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._owns_service:
+            self.service.shutdown()
+
+    def __enter__(self) -> "MiningServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = [
+    "MiningServer",
+    "config_from_dict",
+    "itemsets_from_payload",
+    "result_payload",
+]

@@ -1,0 +1,131 @@
+"""Job model for the mining service.
+
+A :class:`Job` is one submitted mining request plus its full lifecycle
+trail: state transitions, timestamps, attempt count, error, and (when
+finished) the :class:`~repro.core.results.MiningRunResult`.  Jobs move
+through::
+
+    PENDING ──▶ RUNNING ──▶ DONE
+       │           ├──────▶ FAILED      (error, retries exhausted)
+       │           ├──────▶ TIMED_OUT   (deadline fired mid-run)
+       └───────────┴──────▶ CANCELLED   (client cancel, queued or running)
+
+State is only ever mutated under the owning service's lock; readers get
+point-in-time :meth:`Job.snapshot` dicts, which are also the HTTP
+status-endpoint payloads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.common.errors import ReproError
+from repro.core.registry import MiningConfig
+
+
+class ServeError(ReproError):
+    """Raised for invalid service requests (unknown job, bad payload...)."""
+
+
+class JobState(str, Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMED_OUT = "timed_out"
+
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED, JobState.TIMED_OUT}
+)
+
+_job_ids = itertools.count(1)
+
+
+def _next_job_id() -> str:
+    return f"job-{next(_job_ids)}"
+
+
+@dataclass
+class JobRequest:
+    """Everything a client specifies for one mining job."""
+
+    config: MiningConfig
+    priority: int = 0  # lower runs first; ties FIFO
+    timeout_s: float | None = None
+    max_retries: int = 0
+    retry_backoff_s: float = 0.05  # doubles per retry
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ServeError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ServeError(f"timeout_s must be positive, got {self.timeout_s}")
+
+
+@dataclass
+class Job:
+    """One submission's identity, request, and lifecycle record."""
+
+    request: JobRequest
+    dataset_fingerprint: str
+    job_id: str = field(default_factory=_next_job_id)
+    state: JobState = JobState.PENDING
+    submitted_s: float = field(default_factory=time.monotonic)
+    started_s: float | None = None
+    finished_s: float | None = None
+    attempts: int = 0
+    error: str | None = None
+    result: object | None = None  # MiningRunResult when DONE
+    #: how the result was produced: "run", "memoized" (result-cache hit at
+    #: submit time) or "coalesced" (attached to an identical in-flight job)
+    via: str = "run"
+    coalesced_with: str | None = None
+    cancel_event: threading.Event = field(default_factory=threading.Event, repr=False)
+    done_event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def result_key(self) -> tuple[str, str]:
+        """Memoization key: (dataset fingerprint, config content hash)."""
+        return (self.dataset_fingerprint, self.request.config.cache_key())
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state; True when it did."""
+        return self.done_event.wait(timeout)
+
+    def snapshot(self) -> dict:
+        """JSON-safe point-in-time status (the ``GET /jobs/<id>`` payload)."""
+        now = time.monotonic()
+        out = {
+            "job_id": self.job_id,
+            "state": self.state.value,
+            "algorithm": self.request.config.algorithm,
+            "min_support": self.request.config.min_support,
+            "dataset_fingerprint": self.dataset_fingerprint,
+            "priority": self.request.priority,
+            "attempts": self.attempts,
+            "via": self.via,
+            "error": self.error,
+            "coalesced_with": self.coalesced_with,
+            "queued_seconds": round(
+                (self.started_s or self.finished_s or now) - self.submitted_s, 6
+            ),
+            "run_seconds": (
+                round((self.finished_s or now) - self.started_s, 6)
+                if self.started_s is not None
+                else None
+            ),
+        }
+        if self.state is JobState.DONE and self.result is not None:
+            out["num_itemsets"] = self.result.num_itemsets
+        return out

@@ -1,0 +1,405 @@
+"""The multi-tenant mining service: priority queue + bounded worker pool.
+
+:class:`MiningService` accepts mining jobs (any algorithm registered in
+:mod:`repro.core.registry`), runs them on a fixed pool of worker threads,
+and layers three amortizations over the one-shot API:
+
+* identical resubmissions hit the :class:`~repro.serve.cache.ResultCache`
+  and complete instantly (``via="memoized"``);
+* identical *concurrent* submissions coalesce — followers attach to the
+  in-flight primary and share its result (``via="coalesced"``);
+* datasets and warm engine contexts persist across jobs in the
+  :class:`~repro.serve.cache.DatasetCache` / ``ContextPool``.
+
+Each job gets a configurable timeout, client cancellation (queued or
+running), and bounded retry-with-backoff for transient engine faults
+(:class:`~repro.common.errors.EngineError` and subclasses — injected
+failures, task-retry exhaustion; programming errors fail immediately).
+
+Use it embedded::
+
+    with MiningService(n_workers=4) as svc:
+        job = svc.submit(txns, MiningConfig(min_support=0.3))
+        job.wait()
+        print(job.result.summary())
+
+or behind the HTTP front-end in :mod:`repro.serve.http`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+
+from repro.common.errors import EngineError
+from repro.core.registry import MiningConfig, get_algorithm, run_algorithm
+from repro.serve.cache import ContextPool, DatasetCache, ResultCache
+from repro.serve.jobs import Job, JobRequest, JobState, ServeError
+
+#: exception types treated as transient (retried with backoff)
+TRANSIENT_ERRORS = (EngineError,)
+
+
+class MiningService:
+    """Job queue + worker pool + caches; the serving layer's single object.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker threads executing jobs (each holds at most one warm engine
+        context at a time).
+    dataset_cache_bytes:
+        Byte budget for parsed transaction lists shared across jobs.
+    result_cache_entries / result_ttl_s:
+        LRU size and freshness window of the result memoizer.
+    default_timeout_s:
+        Timeout applied to jobs that do not specify their own; ``None``
+        means no deadline.
+    max_idle_contexts:
+        Warm engine contexts kept per ``(backend, parallelism)`` key.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        dataset_cache_bytes: int = 64 * 1024 * 1024,
+        result_cache_entries: int = 256,
+        result_ttl_s: float = 300.0,
+        default_timeout_s: float | None = None,
+        max_idle_contexts: int = 2,
+    ):
+        if n_workers < 1:
+            raise ServeError(f"n_workers must be >= 1, got {n_workers}")
+        self.datasets = DatasetCache(dataset_cache_bytes)
+        self.results = ResultCache(result_cache_entries, result_ttl_s)
+        self.contexts = ContextPool(max_idle_contexts)
+        self.default_timeout_s = default_timeout_s
+        self._lock = threading.Lock()
+        self._queue_cond = threading.Condition(self._lock)
+        self._heap: list[tuple[int, int, Job]] = []  # (priority, seq, job)
+        self._seq = itertools.count()
+        self._jobs: dict[str, Job] = {}
+        #: result_key -> primary in-flight Job (for coalescing)
+        self._inflight: dict[tuple, Job] = {}
+        #: result_key -> follower Jobs attached to the primary
+        self._followers: dict[tuple, list[Job]] = {}
+        self._shutdown = False
+        self.jobs_submitted = 0
+        self.jobs_coalesced = 0
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
+            )
+            for i in range(n_workers)
+        ]
+        for w in self._workers:
+            w.start()
+
+    # -- submission --------------------------------------------------------
+    def submit(
+        self,
+        transactions,
+        config: MiningConfig,
+        *,
+        priority: int = 0,
+        timeout_s: float | None = None,
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.05,
+    ) -> Job:
+        """Queue one mining job; returns immediately with its :class:`Job`.
+
+        The job may already be terminal on return: a fresh result-cache hit
+        comes back ``DONE`` with ``via="memoized"`` without ever queueing.
+        """
+        get_algorithm(config.algorithm)  # fail fast on unknown algorithms
+        request = JobRequest(
+            config=config,
+            priority=priority,
+            timeout_s=self.default_timeout_s if timeout_s is None else timeout_s,
+            max_retries=max_retries,
+            retry_backoff_s=retry_backoff_s,
+        )
+        txns = transactions if isinstance(transactions, list) else list(transactions)
+        fingerprint = self.datasets.add(txns)
+        job = Job(request=request, dataset_fingerprint=fingerprint)
+        key = job.result_key
+
+        memoized = self.results.get(key)
+        with self._queue_cond:
+            if self._shutdown:
+                raise ServeError("service is shut down")
+            self._jobs[job.job_id] = job
+            self.jobs_submitted += 1
+            if memoized is not None:
+                self._finish_locked(job, JobState.DONE, result=memoized, via="memoized")
+                return job
+            primary = self._inflight.get(key)
+            if primary is not None and not primary.is_terminal:
+                job.via = "coalesced"
+                job.coalesced_with = primary.job_id
+                self.jobs_coalesced += 1
+                self._followers.setdefault(key, []).append(job)
+                return job
+            self._inflight[key] = job
+            heapq.heappush(self._heap, (request.priority, next(self._seq), job))
+            self._queue_cond.notify()
+        return job
+
+    # -- queries -----------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServeError(f"unknown job {job_id!r}")
+        return job
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until ``job_id`` is terminal (or ``timeout`` elapses)."""
+        job = self.get(job_id)
+        job.wait(timeout)
+        return job
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job; True when the cancellation took effect.
+
+        A queued job is cancelled immediately; a running job has its cancel
+        flag raised and transitions once the worker observes it (the
+        underlying computation is abandoned, its result discarded).
+        Terminal jobs are left untouched (returns False).
+        """
+        job = self.get(job_id)
+        with self._queue_cond:
+            if job.is_terminal:
+                return False
+            if job.state is JobState.PENDING:
+                if job.coalesced_with is not None:
+                    followers = self._followers.get(job.result_key, [])
+                    if job in followers:
+                        followers.remove(job)
+                self._finish_locked(job, JobState.CANCELLED, error="cancelled by client")
+                return True
+            job.cancel_event.set()
+            return True
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return sum(1 for _, _, j in self._heap if j.state is JobState.PENDING)
+
+    def jobs_by_state(self) -> dict[str, int]:
+        counts = {state.value: 0 for state in JobState}
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.state.value] += 1
+        return counts
+
+    def metrics(self) -> dict:
+        """The ``GET /metrics`` payload: queue, states, caches, recent jobs."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        recent = []
+        for job in jobs[-20:]:
+            entry = job.snapshot()
+            metrics = getattr(job.result, "engine_metrics", None)
+            if metrics is not None:
+                entry["engine_metrics"] = metrics.summary()
+            trace = getattr(job.result, "trace", None)
+            if trace is not None:
+                entry["trace_spans"] = len(trace.spans)
+            recent.append(entry)
+        return {
+            "queue_depth": self.queue_depth(),
+            "workers": len(self._workers),
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_coalesced": self.jobs_coalesced,
+            "jobs_by_state": self.jobs_by_state(),
+            "dataset_cache": self.datasets.stats(),
+            "result_cache": self.results.stats(),
+            "context_pool": self.contexts.stats(),
+            "recent_jobs": recent,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work, cancel queued jobs, drain the workers."""
+        with self._queue_cond:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            for _, _, job in self._heap:
+                if job.state is JobState.PENDING:
+                    self._finish_locked(
+                        job, JobState.CANCELLED, error="service shut down"
+                    )
+            self._heap.clear()
+            self._queue_cond.notify_all()
+        if wait:
+            for w in self._workers:
+                w.join(timeout=10.0)
+        self.contexts.close()
+
+    def __enter__(self) -> "MiningService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- worker internals --------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._queue_cond:
+                while not self._heap and not self._shutdown:
+                    self._queue_cond.wait()
+                if self._shutdown:
+                    return
+                _, _, job = heapq.heappop(self._heap)
+                if job.state is not JobState.PENDING:
+                    continue  # cancelled while queued
+                job.state = JobState.RUNNING
+                job.started_s = time.monotonic()
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        deadline = (
+            job.started_s + job.request.timeout_s
+            if job.request.timeout_s is not None
+            else None
+        )
+        while True:
+            job.attempts += 1
+            outcome = self._attempt(job, deadline)
+            if outcome is not None:
+                state, result, error = outcome
+                with self._queue_cond:
+                    self._finish_locked(job, state, result=result, error=error)
+                return
+            # transient failure with retry budget left: back off, then go
+            # again (the backoff sleep itself honours cancel + deadline)
+            backoff = job.request.retry_backoff_s * (2 ** (job.attempts - 1))
+            if deadline is not None:
+                backoff = min(backoff, max(0.0, deadline - time.monotonic()))
+            if job.cancel_event.wait(backoff):
+                with self._queue_cond:
+                    self._finish_locked(
+                        job, JobState.CANCELLED, error="cancelled by client"
+                    )
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                with self._queue_cond:
+                    self._finish_locked(
+                        job,
+                        JobState.TIMED_OUT,
+                        error=f"timed out after {job.request.timeout_s:g}s",
+                    )
+                return
+
+    def _attempt(self, job: Job, deadline: float | None):
+        """Run one attempt; returns ``(state, result, error)`` or ``None``
+        when the attempt failed transiently and the retry budget allows
+        another go."""
+        box: dict[str, object] = {}
+
+        def target():
+            ctx = None
+            config = job.request.config
+            try:
+                txns = self.datasets.get(job.dataset_fingerprint)
+                if txns is None:
+                    raise ServeError(
+                        f"dataset {job.dataset_fingerprint[:12]} evicted before run"
+                    )
+                if get_algorithm(config.algorithm).needs_engine:
+                    ctx = self.contexts.acquire(
+                        config.backend, config.parallelism, label=job.job_id
+                    )
+                box["result"] = run_algorithm(txns, config, ctx=ctx)
+            except BaseException as exc:  # noqa: BLE001 - reported to client
+                box["error"] = exc
+            finally:
+                if ctx is not None:
+                    self.contexts.release(ctx)
+
+        thread = threading.Thread(target=target, name=f"{job.job_id}-run", daemon=True)
+        thread.start()
+        while thread.is_alive():
+            if deadline is not None and time.monotonic() >= deadline:
+                # abandon the attempt: the stray thread releases its context
+                # when it eventually finishes; its result is discarded
+                return (
+                    JobState.TIMED_OUT,
+                    None,
+                    f"timed out after {job.request.timeout_s:g}s",
+                )
+            if job.cancel_event.is_set():
+                return (JobState.CANCELLED, None, "cancelled by client")
+            thread.join(timeout=0.01)
+
+        error = box.get("error")
+        if error is None:
+            return (JobState.DONE, box["result"], None)
+        if (
+            isinstance(error, TRANSIENT_ERRORS)
+            and job.attempts <= job.request.max_retries
+        ):
+            return None
+        kind = "transient" if isinstance(error, TRANSIENT_ERRORS) else "permanent"
+        return (
+            JobState.FAILED,
+            None,
+            f"{kind} failure after {job.attempts} attempt(s): {error!r}",
+        )
+
+    def _finish_locked(
+        self,
+        job: Job,
+        state: JobState,
+        *,
+        result=None,
+        error: str | None = None,
+        via: str | None = None,
+    ) -> None:
+        """Transition ``job`` to a terminal state (caller holds the lock)
+        and settle its followers."""
+        if job.is_terminal:
+            return
+        job.state = state
+        job.result = result
+        job.error = error
+        job.finished_s = time.monotonic()
+        if via is not None:
+            job.via = via
+        key = job.result_key
+        followers: list[Job] = []
+        if self._inflight.get(key) is job:
+            del self._inflight[key]
+            followers = self._followers.pop(key, [])
+        if state is JobState.DONE and via is None:
+            self.results.put(key, result)
+        job.done_event.set()
+        if state is JobState.DONE:
+            for follower in followers:
+                self._finish_locked(follower, JobState.DONE, result=result)
+        else:
+            # The primary did not produce a result — promote followers to
+            # independent runs rather than failing them for someone else's
+            # timeout/cancellation.
+            for follower in followers:
+                if follower.is_terminal:
+                    continue
+                follower.via = "run"
+                follower.coalesced_with = None
+                self._inflight[key] = follower
+                heapq.heappush(
+                    self._heap, (follower.request.priority, next(self._seq), follower)
+                )
+                self._queue_cond.notify()
+                break  # first follower becomes the new primary; rest re-attach
+            else:
+                return
+            new_primary = self._inflight[key]
+            for follower in followers:
+                if follower is new_primary or follower.is_terminal:
+                    continue
+                follower.coalesced_with = new_primary.job_id
+                self._followers.setdefault(key, []).append(follower)

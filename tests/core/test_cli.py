@@ -22,6 +22,58 @@ class TestParser:
                 ["mine", "--dataset", "chess", "--support", "0.5", "--algorithm", "nope"]
             )
 
+    def test_mine_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mine", "--dataset", "chess", "--support", "0.5",
+                 "--backend", "thraeds"]
+            )
+
+    def test_backend_choices_come_from_engine(self):
+        from repro.engine.executors import BACKENDS
+
+        for backend in BACKENDS:
+            args = build_parser().parse_args(
+                ["mine", "--dataset", "chess", "--support", "0.5",
+                 "--backend", backend]
+            )
+            assert args.backend == backend
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--port", "0"])
+        assert args.port == 0 and args.workers == 4
+        assert args.func.__name__ == "cmd_serve"
+
+    def test_submit_parser(self):
+        args = build_parser().parse_args(
+            ["submit", "--url", "http://127.0.0.1:9", "--dataset", "chess",
+             "--support", "0.85", "--no-wait"]
+        )
+        assert args.url == "http://127.0.0.1:9" and args.no_wait
+        assert args.func.__name__ == "cmd_submit"
+
+    def test_submit_unreachable_server_is_clean_error(self, capsys):
+        rc = main(
+            ["submit", "--url", "http://127.0.0.1:1", "--dataset", "chess",
+             "--scale", "0.02", "--support", "0.85"]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_submit_round_trip_against_live_server(self, capsys):
+        from repro.serve import MiningServer
+
+        with MiningServer(port=0, n_workers=1) as server:
+            rc = main(
+                ["submit", "--url", server.url, "--dataset", "medical",
+                 "--scale", "0.05", "--support", "0.2", "--backend", "serial",
+                 "--top", "3"]
+            )
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "submitted job-" in out
+            assert "frequent itemsets" in out
+
     def test_algorithm_choices_come_from_registry(self):
         from repro.core.registry import algorithm_names, register_algorithm, unregister_algorithm
 

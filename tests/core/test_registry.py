@@ -158,3 +158,28 @@ class TestNoDispatchChain:
         src = inspect.getsource(api)
         assert "if algorithm ==" not in src
         assert "elif algorithm" not in src
+
+
+class TestRunAlgorithmWithContext:
+    def test_caller_supplied_context_is_used_and_left_open(self):
+        from repro.core.registry import MiningConfig, run_algorithm
+        from repro.engine.context import Context
+
+        cfg = MiningConfig(min_support=0.4, algorithm="yafim", backend="serial")
+        with Context(backend="serial") as ctx:
+            first = run_algorithm(TXNS, cfg, ctx=ctx)
+            assert first.itemsets == ORACLE
+            # context survives the run and can host another, renewed
+            ctx.renew_run(label="second")
+            assert not ctx.event_log.tasks
+            second = run_algorithm(TXNS, cfg, ctx=ctx)
+            assert second.itemsets == ORACLE
+            assert second.engine_metrics.n_jobs > 0
+
+    def test_non_engine_algorithms_ignore_ctx(self):
+        from repro.core.registry import MiningConfig, run_algorithm
+
+        got = run_algorithm(
+            TXNS, MiningConfig(min_support=0.4, algorithm="eclat"), ctx=None
+        )
+        assert got.itemsets == ORACLE

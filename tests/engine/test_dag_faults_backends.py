@@ -186,3 +186,23 @@ class TestPartitioners:
     def test_invalid_partition_count(self):
         with pytest.raises(ValueError):
             HashPartitioner(0)
+
+
+class TestMakeExecutor:
+    def test_backends_tuple_covers_factory(self):
+        from repro.engine.executors import BACKENDS, make_executor
+
+        assert BACKENDS == ("serial", "threads", "processes")
+        for backend in ("serial", "threads"):
+            executor = make_executor(backend, 2)
+            executor.shutdown()
+
+    def test_unknown_backend_error_names_valid_ones(self):
+        from repro.engine.executors import BACKENDS, make_executor
+
+        with pytest.raises(ValueError) as err:
+            make_executor("thraeds")
+        message = str(err.value)
+        assert "thraeds" in message
+        for backend in BACKENDS:
+            assert backend in message

@@ -1,0 +1,160 @@
+"""Cross-job cache behaviour: fingerprints, LRU byte budget, TTL, contexts."""
+
+import pytest
+
+from repro.core.registry import MiningConfig
+from repro.serve.cache import (
+    ContextPool,
+    DatasetCache,
+    LruByteCache,
+    ResultCache,
+    dataset_fingerprint,
+)
+
+
+class TestDatasetFingerprint:
+    def test_deterministic(self):
+        txns = [[1, 2, 3], [2, 4]]
+        assert dataset_fingerprint(txns) == dataset_fingerprint([list(t) for t in txns])
+
+    def test_content_sensitive(self):
+        assert dataset_fingerprint([[1, 2]]) != dataset_fingerprint([[1, 3]])
+        assert dataset_fingerprint([[1], [2]]) != dataset_fingerprint([[1, 2]])
+
+    def test_int_and_str_items_agree(self):
+        # .dat round-trips render items with str(); the fingerprint must too
+        assert dataset_fingerprint([[1, 2]]) == dataset_fingerprint([["1", "2"]])
+
+
+class TestLruByteCache:
+    def test_hit_miss_counters(self):
+        cache = LruByteCache(max_bytes=1 << 20)
+        assert cache.get("a") is None
+        cache.put("a", [1, 2, 3])
+        assert cache.get("a") == [1, 2, 3]
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_byte_budget_evicts_lru(self):
+        cache = LruByteCache(max_bytes=1)  # everything over budget
+        cache.put("a", list(range(100)))
+        cache.put("b", list(range(100)))
+        # single-entry floor: newest survives even over budget
+        assert "b" in cache and "a" not in cache
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        from repro.common.sizeof import estimate_size
+
+        big = list(range(200))
+        cache = LruByteCache(max_bytes=int(estimate_size(big) * 2.5))
+        cache.put("a", big)
+        cache.put("b", big)
+        cache.get("a")  # a is now most-recent
+        cache.put("c", big)  # must evict b, not a
+        assert "a" in cache and "b" not in cache
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            LruByteCache(max_bytes=0)
+
+
+class TestDatasetCache:
+    def test_add_returns_fingerprint_and_caches(self):
+        cache = DatasetCache(1 << 20)
+        txns = [[1, 2], [2, 3]]
+        fp = cache.add(txns)
+        assert fp == dataset_fingerprint(txns)
+        assert cache.get(fp) == txns
+
+    def test_re_add_is_idempotent(self):
+        cache = DatasetCache(1 << 20)
+        fp1 = cache.add([[1, 2]])
+        fp2 = cache.add([[1, 2]])
+        assert fp1 == fp2 and len(cache) == 1
+
+
+class TestResultCache:
+    def test_ttl_expiry(self):
+        cache = ResultCache(max_entries=4, ttl_s=10.0)
+        cache.put(("fp", "cfg"), "result", now=0.0)
+        assert cache.get(("fp", "cfg"), now=5.0) == "result"
+        assert cache.get(("fp", "cfg"), now=10.0) is None  # expired
+        assert cache.expirations == 1
+        assert len(cache) == 0
+
+    def test_lru_bound(self):
+        cache = ResultCache(max_entries=2, ttl_s=100.0)
+        for i in range(3):
+            cache.put((f"fp{i}", "c"), i, now=0.0)
+        assert cache.get(("fp0", "c"), now=1.0) is None
+        assert cache.get(("fp2", "c"), now=1.0) == 2
+        assert cache.evictions == 1
+
+    def test_stats_shape(self):
+        stats = ResultCache().stats()
+        assert {"entries", "hits", "misses", "hit_rate", "ttl_s"} <= set(stats)
+
+
+class TestContextPool:
+    def test_reuses_released_context(self):
+        pool = ContextPool()
+        try:
+            ctx = pool.acquire("serial", None)
+            pool.release(ctx)
+            again = pool.acquire("serial", None)
+            assert again is ctx
+            assert pool.created == 1 and pool.reused == 1
+            pool.release(again)
+        finally:
+            pool.close()
+
+    def test_renewed_context_has_fresh_observability(self):
+        pool = ContextPool()
+        try:
+            ctx = pool.acquire("serial", None, label="first")
+            ctx.parallelize(range(10), 2).map(lambda x: x + 1).collect()
+            assert ctx.event_log.tasks
+            pool.release(ctx)
+            ctx = pool.acquire("serial", None, label="second")
+            assert not ctx.event_log.tasks
+            assert not ctx.tracer.spans
+            assert ctx.tracer.label == "second"
+            assert ctx.shuffle_manager.metrics.bytes_written == 0
+            pool.release(ctx)
+        finally:
+            pool.close()
+
+    def test_close_stops_idle_contexts(self):
+        pool = ContextPool()
+        ctx = pool.acquire("serial", None)
+        pool.release(ctx)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            ctx.parallelize([1])
+        # releasing after close stops, not pools
+        late = ContextPool()
+        c2 = late.acquire("serial", None)
+        late.close()
+        late.release(c2)
+        with pytest.raises(RuntimeError):
+            c2.parallelize([1])
+
+
+class TestMiningConfigCacheKey:
+    def test_stable_across_option_order(self):
+        a = MiningConfig(min_support=0.3, options={"x": 1, "y": 2})
+        b = MiningConfig(min_support=0.3, options={"y": 2, "x": 1})
+        assert a.cache_key() == b.cache_key()
+
+    def test_differs_on_any_knob(self):
+        base = MiningConfig(min_support=0.3)
+        assert base.cache_key() != MiningConfig(min_support=0.31).cache_key()
+        assert base.cache_key() != MiningConfig(min_support=0.3, algorithm="pfp").cache_key()
+        assert base.cache_key() != MiningConfig(min_support=0.3, max_length=2).cache_key()
+
+    def test_canonical_is_json_round_trippable(self):
+        import json
+
+        cfg = MiningConfig(min_support=0.5, algorithm="eclat", options={"k": True})
+        assert json.loads(json.dumps(cfg.canonical())) == cfg.canonical()

@@ -1,0 +1,148 @@
+"""HTTP front-end: endpoints, error codes, client round-trips, CLI wiring."""
+
+import threading
+
+import pytest
+
+from repro.core.api import mine_frequent_itemsets
+from repro.core.registry import MiningConfig
+from repro.datasets import mushroom_like
+from repro.serve import HttpClient, MiningServer, ServeError
+from repro.serve.http import config_from_dict, itemsets_from_payload, result_payload
+
+TXNS = [[1, 2, 3], [1, 2], [2, 3], [1, 3], [1, 2, 3]]
+CFG = MiningConfig(min_support=0.4, backend="serial")
+
+
+@pytest.fixture(scope="module")
+def server():
+    with MiningServer(port=0, n_workers=2, result_ttl_s=60.0) as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return HttpClient(server.url, poll_interval_s=0.01)
+
+
+class TestConfigFromDict:
+    def test_builds_config(self):
+        cfg = config_from_dict({"min_support": 0.3, "algorithm": "eclat"})
+        assert cfg == MiningConfig(min_support=0.3, algorithm="eclat")
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ServeError, match="unknown config field"):
+            config_from_dict({"min_support": 0.3, "supprot": 0.2})
+
+    def test_requires_min_support(self):
+        with pytest.raises(ServeError, match="min_support"):
+            config_from_dict({"algorithm": "eclat"})
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ServeError, match="must be an object"):
+            config_from_dict([1, 2])
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        payload = client.healthz()
+        assert payload["status"] == "ok" and payload["workers"] == 2
+
+    def test_submit_status_result_round_trip(self, client):
+        snapshot = client.submit(TXNS, CFG)
+        assert snapshot["job_id"].startswith("job-")
+        final = client.wait(snapshot["job_id"], timeout=30.0)
+        assert final["state"] == "done"
+        itemsets = client.result(final["job_id"])
+        assert itemsets == mine_frequent_itemsets(TXNS, config=CFG).itemsets
+
+    def test_result_conflict_while_pending(self, client, server):
+        # a job that never runs (blocked behind nothing) finishes fast, so
+        # probe the 409 with a job that is already terminal-but-not-done
+        snapshot = client.submit(TXNS, CFG, timeout_s=30.0)
+        client.wait(snapshot["job_id"], timeout=30.0)
+        cancelled = client.submit(
+            [[9, 8], [8, 7]], MiningConfig(min_support=0.9, backend="serial"),
+        )
+        # cancel may race completion; either way /results must 409 or 200
+        client.cancel(cancelled["job_id"])
+        final = client.wait(cancelled["job_id"], timeout=30.0)
+        if final["state"] != "done":
+            with pytest.raises(ServeError, match="409"):
+                client.result(final["job_id"])
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServeError, match="404"):
+            client.status("job-999999")
+        with pytest.raises(ServeError, match="404"):
+            client.result("job-999999")
+
+    def test_bad_submit_payloads_are_400(self, client):
+        with pytest.raises(ServeError, match="400"):
+            client._request("POST", "/jobs", {"config": {"min_support": 0.4}})
+        with pytest.raises(ServeError, match="400"):
+            client._request("POST", "/jobs", {"transactions": TXNS, "config": {}})
+        with pytest.raises(ServeError, match="400"):
+            client.submit(TXNS, {"min_support": 0.4, "algorithm": "nope"})
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServeError, match="404"):
+            client._request("GET", "/nope")
+        with pytest.raises(ServeError, match="404"):
+            client._request("POST", "/nope", {})
+
+    def test_metrics_exposes_queue_states_and_hit_rates(self, client):
+        client.mine(TXNS, CFG, timeout=30.0)  # memoized or run — either way counted
+        m = client.metrics()
+        assert m["queue_depth"] >= 0
+        assert set(m["jobs_by_state"]) == {
+            "pending", "running", "done", "failed", "cancelled", "timed_out"
+        }
+        assert "hit_rate" in m["dataset_cache"]
+        assert "hit_rate" in m["result_cache"]
+        assert any("state" in j for j in m["recent_jobs"])
+
+    def test_memoized_submit_returns_200_done(self, client):
+        client.mine(TXNS, CFG, timeout=30.0)
+        snapshot = client.submit(TXNS, CFG)
+        assert snapshot["state"] == "done" and snapshot["via"] == "memoized"
+
+
+class TestConcurrentHttp:
+    def test_eight_concurrent_http_jobs_match_direct(self, client):
+        ds = mushroom_like(scale=0.02, seed=9)
+        configs = [
+            MiningConfig(min_support=s, algorithm=a, backend="serial")
+            for s in (0.5, 0.6, 0.7, 0.8)
+            for a in ("yafim", "apriori")
+        ]
+        direct = {
+            c.cache_key(): mine_frequent_itemsets(ds.transactions, config=c).itemsets
+            for c in configs
+        }
+        mined = {}
+
+        def run_one(cfg):
+            mined[cfg.cache_key()] = client.mine(ds.transactions, cfg, timeout=120.0)
+
+        threads = [threading.Thread(target=run_one, args=(c,)) for c in configs]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert len(mined) == 8
+        for key, itemsets in mined.items():
+            assert itemsets == direct[key]
+
+
+class TestPayloadHelpers:
+    def test_result_payload_round_trip(self):
+        from repro.serve import LocalClient, MiningService
+
+        with MiningService(n_workers=1) as svc:
+            job = svc.submit(TXNS, CFG)
+            job.wait(30.0)
+            payload = result_payload(job)
+            assert payload["num_itemsets"] == job.result.num_itemsets
+            assert itemsets_from_payload(payload) == job.result.itemsets
+            LocalClient(svc).result(job.job_id)  # same itemsets via client

@@ -131,24 +131,28 @@ class Context:
 
         Keeps the expensive parts — the executor pool and its workers — and
         discards everything a fresh :class:`Context` would start without:
-        retained shuffle outputs, the event log, the tracer, per-run metric
-        counters, fault-injection rules and cached-level snapshots.
+        retained shuffle outputs, cached RDD blocks, the event log, the
+        tracer, per-run metric counters, fault-injection rules and
+        cached-level snapshots.
+
+        Cached blocks must be dropped here: RDD ids never repeat, so blocks
+        cached by a previous run are unreachable from the new run's lineage
+        and would otherwise accumulate until the context stops — one
+        dataset's worth of memory leaked per served job.
         """
         self._check_alive()
         self.clear_shuffle_outputs()
+        self.block_manager.clear()
         self.tracer = Tracer(enabled=self.tracer.enabled, label=label or self.tracer.label)
         for manager in (self.block_manager, self.shuffle_manager, self.broadcast_manager):
             manager.tracer = self.tracer
         self.event_log = EventLog()
         self.fault_injector.clear()
         self._rdd_levels.clear()
-        # Fresh hit/miss counters; memory_bytes/disk_bytes track live blocks
-        # and must survive the renewal.
-        storage = self.block_manager.metrics
-        storage.memory_hits = storage.disk_hits = storage.misses = 0
-        storage.evictions = storage.spills = 0
         from repro.engine.shuffle import ShuffleMetrics
+        from repro.engine.storage import StorageMetrics
 
+        self.block_manager.metrics = StorageMetrics()
         self.shuffle_manager.metrics = ShuffleMetrics()
         self.broadcast_manager.reset()
 

@@ -37,11 +37,19 @@ def dataset_fingerprint(transactions: Iterable[Sequence]) -> str:
     Items are rendered with ``str`` — the same rendering the ``.dat`` file
     format uses — so a dataset fingerprints identically whether it arrived
     as parsed ints or as strings read back from disk.
+
+    The encoding is injective: every transaction and every rendered item
+    is length-prefixed, so ``[["a b"]]`` and ``[["a", "b"]]`` hash
+    differently.  (A join on a separator would conflate them, letting one
+    tenant's submission silently hit another dataset's cache entry.)
     """
     h = hashlib.sha256()
     for txn in transactions:
-        h.update(" ".join(str(i) for i in txn).encode("utf-8"))
-        h.update(b"\n")
+        items = [str(i).encode("utf-8") for i in txn]
+        h.update(len(items).to_bytes(4, "big"))
+        for data in items:
+            h.update(len(data).to_bytes(4, "big"))
+            h.update(data)
     return h.hexdigest()
 
 
@@ -236,6 +244,10 @@ class ContextPool:
 
     def release(self, ctx) -> None:
         key = getattr(ctx, "_pool_key", (ctx.backend, None))
+        # Drop the finished job's cached RDD blocks now rather than at the
+        # next acquire: an idle context must not pin a dataset's worth of
+        # memory while it waits (renew_run clears again, as a backstop).
+        ctx.block_manager.clear()
         with self._lock:
             if not self._closed:
                 idle = self._idle.setdefault(key, [])

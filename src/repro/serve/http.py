@@ -155,7 +155,11 @@ class _Handler(BaseHTTPRequestHandler):
                 timeout_s=payload.get("timeout_s"),
                 max_retries=int(payload.get("max_retries", 0)),
             )
-        except (ServeError, MiningError) as err:
+        except (ServeError, MiningError, TypeError, ValueError) as err:
+            # TypeError/ValueError cover malformed-but-valid-JSON payloads:
+            # a string min_support tripping __post_init__'s comparison, a
+            # non-numeric priority, a non-iterable transaction element hit
+            # during fingerprinting — all client errors, not server faults.
             self._send_json(400, {"error": str(err)})
             return
         self._send_json(200 if job.is_terminal else 202, job.snapshot())

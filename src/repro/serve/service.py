@@ -380,6 +380,14 @@ class MiningService:
         if state is JobState.DONE:
             for follower in followers:
                 self._finish_locked(follower, JobState.DONE, result=result)
+        elif self._shutdown:
+            # Workers exit as soon as they see the shutdown flag and the
+            # pending-cancel sweep has already run, so a re-queued follower
+            # would stay PENDING forever — settle it now instead.
+            for follower in followers:
+                self._finish_locked(
+                    follower, JobState.CANCELLED, error="service shut down"
+                )
         else:
             # The primary did not produce a result — promote followers to
             # independent runs rather than failing them for someone else's

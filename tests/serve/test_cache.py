@@ -25,6 +25,13 @@ class TestDatasetFingerprint:
         # .dat round-trips render items with str(); the fingerprint must too
         assert dataset_fingerprint([[1, 2]]) == dataset_fingerprint([["1", "2"]])
 
+    def test_injective_for_items_containing_separators(self):
+        # a space-join would conflate these, silently handing one tenant
+        # another dataset's cache entry (and its memoized results)
+        assert dataset_fingerprint([["a b"]]) != dataset_fingerprint([["a", "b"]])
+        assert dataset_fingerprint([["a", "b c"]]) != dataset_fingerprint([["a b", "c"]])
+        assert dataset_fingerprint([["a\nb"]]) != dataset_fingerprint([["a"], ["b"]])
+
 
 class TestLruByteCache:
     def test_hit_miss_counters(self):
@@ -122,6 +129,25 @@ class TestContextPool:
             assert ctx.tracer.label == "second"
             assert ctx.shuffle_manager.metrics.bytes_written == 0
             pool.release(ctx)
+        finally:
+            pool.close()
+
+    def test_release_drops_cached_blocks(self):
+        # RDD ids never repeat, so blocks cached by a finished run are
+        # unreachable from the next run — pooling them would leak one
+        # dataset's worth of memory per served job
+        pool = ContextPool()
+        try:
+            ctx = pool.acquire("serial", None)
+            ctx.parallelize(range(100), 4).cache().count()
+            assert ctx.block_manager.cached_block_count == 4
+            pool.release(ctx)
+            assert ctx.block_manager.cached_block_count == 0
+            again = pool.acquire("serial", None)
+            assert again is ctx
+            assert again.block_manager.cached_block_count == 0
+            assert again.block_manager.metrics.memory_bytes == 0
+            pool.release(again)
         finally:
             pool.close()
 

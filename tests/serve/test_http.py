@@ -85,6 +85,27 @@ class TestEndpoints:
         with pytest.raises(ServeError, match="400"):
             client.submit(TXNS, {"min_support": 0.4, "algorithm": "nope"})
 
+    def test_type_invalid_payloads_are_400_not_connection_abort(self, client):
+        # valid JSON with wrong field types must come back as a clean 400,
+        # not an uncaught TypeError that aborts the connection server-side
+        with pytest.raises(ServeError, match="400"):
+            client._request(
+                "POST", "/jobs",
+                {"transactions": TXNS, "config": {"min_support": "0.4"}},
+            )
+        with pytest.raises(ServeError, match="400"):
+            client._request(
+                "POST", "/jobs",
+                {"transactions": TXNS, "config": {"min_support": 0.4},
+                 "priority": "high"},
+            )
+        with pytest.raises(ServeError, match="400"):
+            # non-iterable transaction elements blow up during fingerprinting
+            client._request(
+                "POST", "/jobs",
+                {"transactions": [1, 2], "config": {"min_support": 0.4}},
+            )
+
     def test_unknown_route_is_404(self, client):
         with pytest.raises(ServeError, match="404"):
             client._request("GET", "/nope")

@@ -88,6 +88,19 @@ class TestSubmitAndRun:
         assert job.result.engine_metrics is not None
         assert job.result.engine_metrics.n_jobs > 0
 
+    def test_warm_context_does_not_accumulate_cached_blocks(self, service):
+        # distinct supports defeat the result cache, so each job really
+        # runs on the (reused) engine context; its cached transaction
+        # partitions must not pile up across jobs
+        for support in (0.3, 0.4, 0.5):
+            cfg = MiningConfig(min_support=support, algorithm="yafim", backend="serial")
+            job = service.submit(TXNS, cfg)
+            assert job.wait(30.0) and job.state is JobState.DONE
+        assert service.contexts.created == 1 and service.contexts.reused == 2
+        idle = [c for pool in service.contexts._idle.values() for c in pool]
+        assert idle
+        assert all(c.block_manager.cached_block_count == 0 for c in idle)
+
     def test_priority_orders_queued_jobs(self, service, algo):
         release = threading.Event()
         order = []
@@ -364,6 +377,37 @@ class TestShutdown:
                 svc.submit(TXNS, CFG)
         finally:
             unregister_algorithm(name)
+
+    def test_follower_settles_when_primary_cancelled_after_shutdown(self, algo):
+        # once shutdown has run, workers are exiting and the pending-cancel
+        # sweep is over — a follower promoted at that point must be settled,
+        # not re-queued to wait on a worker that will never come
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated(txns, config):
+            started.set()
+            release.wait(10.0)
+            return _result(txns, config)
+
+        name = algo(gated, "late_shutdown_algo")
+        svc = MiningService(n_workers=1)
+        try:
+            cfg = MiningConfig(min_support=0.4, algorithm=name)
+            primary = svc.submit(TXNS, cfg)
+            assert started.wait(10.0)
+            follower = svc.submit(TXNS, cfg)
+            assert follower.via == "coalesced"
+            svc.shutdown(wait=False)  # primary is still running
+            assert svc.cancel(primary.job_id) is True
+            assert primary.wait(10.0)
+            assert primary.state is JobState.CANCELLED
+            assert follower.wait(10.0), "follower stranded PENDING after shutdown"
+            assert follower.state is JobState.CANCELLED
+            assert follower.error == "service shut down"
+        finally:
+            release.set()
+            svc.shutdown()
 
     def test_metrics_shape(self, service):
         service.submit(TXNS, CFG).wait(30.0)

@@ -31,6 +31,7 @@ class IterationStats:
     # engine observability counters (uniform across all parallel miners)
     cache_hit_rate: float = 0.0  # block-manager hits / (hits + misses); 0.0 when uncached
     straggler_ratio: float = 0.0  # max task duration / mean task duration (>= 1.0)
+    shipped_bytes: int = 0  # bytes physically serialized driver->workers this pass
 
 
 def engine_iteration_stats(
@@ -42,6 +43,7 @@ def engine_iteration_stats(
     n_frequent: int,
     broadcast_bytes: int = 0,
     closure_bytes: int = 0,
+    shipped_bytes: int = 0,
     label: str | None = None,
 ) -> IterationStats:
     """Fold one iteration's engine task records into an :class:`IterationStats`.
@@ -87,6 +89,7 @@ def engine_iteration_stats(
         shuffle_bytes=shuffle_total,
         cache_hit_rate=hits / (hits + misses) if (hits + misses) else 0.0,
         straggler_ratio=max(durations) / mean if durations and mean > 0 else 0.0,
+        shipped_bytes=shipped_bytes,
     )
 
 

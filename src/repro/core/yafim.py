@@ -132,6 +132,7 @@ class Yafim:
         # ---- Phase I: frequent 1-itemsets -------------------------------
         t0 = time.perf_counter()
         mark = self.ctx.event_log.mark()
+        ship_mark = self.ctx.executor.shipped_bytes_total()
         n = transactions.count()  # materializes the cache
         if n == 0:
             raise MiningError("cannot mine an empty transaction database")
@@ -153,6 +154,7 @@ class Yafim:
                 n_frequent=len(level),
                 mark=mark,
                 broadcast_bytes=0,
+                shipped_bytes=self.ctx.executor.shipped_bytes_total() - ship_mark,
             )
         )
         result.itemsets.update(level)
@@ -164,6 +166,7 @@ class Yafim:
         while level and (max_length is None or k <= max_length):
             t0 = time.perf_counter()
             mark = self.ctx.event_log.mark()
+            ship_mark = self.ctx.executor.shipped_bytes_total()
             with self.ctx.tracer.span(f"apriori_gen k={k}", "driver", n_seed=len(level)):
                 candidates = apriori_gen(level.keys())
             if not candidates:
@@ -205,6 +208,7 @@ class Yafim:
                     mark=mark,
                     broadcast_bytes=bc_bytes,
                     closure_bytes=closure_bytes,
+                    shipped_bytes=self.ctx.executor.shipped_bytes_total() - ship_mark,
                 )
             )
             if bc is not None:
@@ -229,6 +233,7 @@ class Yafim:
     def _iteration_stats(
         self, k: int, seconds: float, n_candidates: int, n_frequent: int,
         mark: int, broadcast_bytes: int, closure_bytes: int = 0,
+        shipped_bytes: int = 0,
     ) -> IterationStats:
         """Fold this iteration's engine tasks into replayable stage records."""
         return engine_iteration_stats(
@@ -239,6 +244,7 @@ class Yafim:
             n_frequent=n_frequent,
             broadcast_bytes=broadcast_bytes,
             closure_bytes=closure_bytes,
+            shipped_bytes=shipped_bytes,
         )
 
 

@@ -7,10 +7,15 @@ driver-side :class:`BroadcastManager`; executors resolve it through a
 per-worker cache, and the manager counts one logical transfer per worker —
 the quantity the cluster cost model charges to the network.
 
-Pickling a Broadcast (for the process-pool backend) carries the value with
-it; the worker-side cache de-duplicates by broadcast id so repeated tasks on
-the same worker do not count as repeated transfers, mirroring Torrent
-broadcast's per-executor caching.
+For the process-pool backend a Broadcast is pickled **by reference**:
+inside :func:`ship_broadcasts_by_ref` (entered by the executor while
+serializing a task batch) ``__getstate__`` emits only the broadcast id
+and registers the instance with the active collector; the worker-side
+copy resolves the payload through its
+:class:`~repro.engine.workerstore.WorkerBlockStore`, so the serialized
+value crosses the process boundary at most once per worker — the
+in-process analogue of Torrent broadcast.  Outside that context (plain
+``pickle.dumps`` by user code) the value is embedded as before.
 """
 
 from __future__ import annotations
@@ -18,14 +23,31 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Generic, TypeVar
 
 from repro.common.sizeof import estimate_size
+from repro.engine.workerstore import broadcast_key
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.tracing import Tracer
 
 T = TypeVar("T")
+
+_ship_local = threading.local()
+
+
+@contextmanager
+def ship_broadcasts_by_ref(collector: dict):
+    """While active (per thread), pickling a :class:`Broadcast` ships only
+    its id and records ``collector[bc_id] = broadcast`` so the executor
+    can push/pull the payload separately."""
+    previous = getattr(_ship_local, "collector", None)
+    _ship_local.collector = collector
+    try:
+        yield collector
+    finally:
+        _ship_local.collector = previous
 
 
 class Broadcast(Generic[T]):
@@ -35,28 +57,52 @@ class Broadcast(Generic[T]):
         self.id = bc_id
         self._value = value
         self._manager = manager
+        self._by_ref = False
+        self._blob: bytes | None = None
         self.size_bytes = estimate_size(value)
 
     @property
     def value(self) -> T:
+        if self._by_ref and self._value is None:
+            from repro.engine.workerstore import resolve_block
+
+            self._value = resolve_block(broadcast_key(self.id))
         if self._manager is not None:
             self._manager.record_access(self)
         return self._value
 
+    def shipping_blob(self) -> bytes:
+        """The serialized payload (cached; computed once per broadcast)."""
+        if self._blob is None:
+            import cloudpickle
+
+            self._blob = cloudpickle.dumps(self._value)
+        return self._blob
+
+    def shipping_size_bytes(self) -> int:
+        return len(self.shipping_blob())
+
     def destroy(self) -> None:
         """Release the value (driver side)."""
         self._value = None  # type: ignore[assignment]
+        self._blob = None
         if self._manager is not None:
             self._manager.unregister(self)
 
     # -- pickling: the manager stays on the driver -------------------------
     def __getstate__(self):
+        collector = getattr(_ship_local, "collector", None)
+        if collector is not None:
+            collector[self.id] = self
+            return {"id": self.id, "size_bytes": self.size_bytes, "by_ref": True}
         return {"id": self.id, "_value": self._value, "size_bytes": self.size_bytes}
 
     def __setstate__(self, state):
         self.id = state["id"]
-        self._value = state["_value"]
+        self._value = state.get("_value")
         self.size_bytes = state["size_bytes"]
+        self._by_ref = state.get("by_ref", False)
+        self._blob = None
         self._manager = None
 
     def __repr__(self) -> str:
@@ -69,7 +115,9 @@ class BroadcastManager:
     ``record_access`` is called on every ``.value`` read with the current
     worker id (from the executing task's context, when any); the first
     access per (broadcast, worker) counts as one network transfer of
-    ``size_bytes`` — all later accesses are cache hits.
+    ``size_bytes`` — all later accesses are cache hits.  The process
+    backend reports real transfers instead: the executor calls
+    :meth:`record_shipment` when a payload physically reaches a worker.
     """
 
     def __init__(self, tracer: "Tracer | None" = None):
@@ -80,6 +128,9 @@ class BroadcastManager:
         self.transfers = 0
         self.transfer_bytes = 0
         self.tracer = tracer
+        #: Called with the Broadcast being destroyed; the Context wires
+        #: this to the executor so worker-resident copies are dropped.
+        self.on_unregister = None
 
     def new_broadcast(self, value: Any) -> Broadcast:
         t0 = time.perf_counter()
@@ -106,17 +157,33 @@ class BroadcastManager:
                 self.transfers += 1
                 self.transfer_bytes += bc.size_bytes
 
+    def record_shipment(self, bc_id: int, worker_id: str, nbytes: int) -> None:
+        """A broadcast payload physically crossed to ``worker_id`` (process
+        backend); counts once per (broadcast, worker) like an access."""
+        with self._lock:
+            key = (bc_id, worker_id)
+            if key not in self._seen:
+                self._seen.add(key)
+                self.transfers += 1
+                self.transfer_bytes += nbytes
+
     def unregister(self, bc: Broadcast) -> None:
         self._live.pop(bc.id, None)
+        if self.on_unregister is not None:
+            self.on_unregister(bc)
 
     def reset(self) -> None:
         """Drop all live broadcasts and zero the transfer counters (used by
         :meth:`~repro.engine.context.Context.renew_run` between served jobs)."""
         with self._lock:
+            live = list(self._live.values())
             self._live.clear()
             self._seen.clear()
             self.transfers = 0
             self.transfer_bytes = 0
+        if self.on_unregister is not None:
+            for bc in live:
+                self.on_unregister(bc)
 
     @property
     def live_count(self) -> int:

@@ -47,6 +47,11 @@ class Context:
         Block-manager budget; ``None`` = unbounded.
     max_task_failures:
         Retry budget per task before the job is failed.
+    worker_store_bytes:
+        Byte budget for each process-pool worker's resident block cache
+        (broadcast payloads, cached partitions, shuffle segments);
+        ignored by the in-driver backends.  ``None`` = the default
+        budget in :mod:`repro.engine.workerstore`.
     """
 
     def __init__(
@@ -56,13 +61,21 @@ class Context:
         memory_limit_bytes: int | None = None,
         max_task_failures: int = 4,
         tracing: bool = True,
+        worker_store_bytes: int | None = None,
     ):
-        self.executor = make_executor(backend, parallelism)
+        self.executor = make_executor(backend, parallelism, worker_store_bytes)
         self.backend = backend
         self.tracer = Tracer(enabled=tracing, label="engine")
         self.block_manager = BlockManager(memory_limit_bytes, tracer=self.tracer)
         self.shuffle_manager = ShuffleManager(tracer=self.tracer)
         self.broadcast_manager = BroadcastManager(tracer=self.tracer)
+        # Process-backend wiring: destroyed broadcasts are dropped from
+        # worker caches, and physical payload shipments feed the
+        # broadcast manager's per-worker transfer accounting.
+        self.broadcast_manager.on_unregister = (
+            lambda bc: self.executor.invalidate_block(("bc", bc.id))
+        )
+        self.executor.broadcast_ship_hook = self.broadcast_manager.record_shipment
         self.accumulators = AccumulatorRegistry()
         self.event_log = EventLog()
         self.fault_injector = FaultInjector()
@@ -155,6 +168,7 @@ class Context:
         self.block_manager.metrics = StorageMetrics()
         self.shuffle_manager.metrics = ShuffleMetrics()
         self.broadcast_manager.reset()
+        self.executor.reset_shipping()
 
     def clear_shuffle_outputs(self) -> None:
         """Drop all retained map outputs (iterative jobs call this between

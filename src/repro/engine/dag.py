@@ -118,8 +118,14 @@ class DAGScheduler:
         with self.context.tracer.span(
             f"stage-{stage.stage_id}", "stage", kind=stage.kind
         ):
+            ship_mark = self.context.executor.shipped_bytes_total()
             tasks = self._make_tasks(stage)
             results = self._run_with_retries(stage, tasks)
+            shipped = self.context.executor.shipped_bytes_total() - ship_mark
+            if shipped:
+                self.context.tracer.instant(
+                    f"stage_ship s{stage.stage_id}", "ship", bytes=shipped
+                )
 
             if isinstance(stage, ShuffleMapStage):
                 dep = stage.shuffle_dep
@@ -137,7 +143,9 @@ class DAGScheduler:
                 }
             for res in results.values():
                 self._finish_task(res)
-        self.context.event_log.summarize_stage(stage.stage_id, stage.kind)
+        self.context.event_log.summarize_stage(
+            stage.stage_id, stage.kind, shipped_bytes=shipped
+        )
         counters[0] += 1
         counters[1] += len(tasks)
         return tuple(counters)
@@ -162,31 +170,43 @@ class DAGScheduler:
                 shuffle_dep=stage.shuffle_dep if isinstance(stage, ShuffleMapStage) else None,
             )
             if self.context.executor.needs_preload:
-                self._preload_task_inputs(rdd, parts[i].index, task)
+                self._resolve_task_inputs(rdd, parts[i].index, task)
             tasks.append(task)
         return tasks
 
-    def _preload_task_inputs(self, rdd: "RDD", partition_index: int, task: Task) -> None:
-        """Resolve driver-resident inputs a remote worker cannot reach."""
+    def _resolve_task_inputs(self, rdd: "RDD", partition_index: int, task: Task) -> None:
+        """Turn driver-resident inputs a remote worker cannot reach into
+        block *references*: the payload is registered with the executor
+        (``offer_block``) under a stable key and only the key rides on the
+        task — the executor ships the bytes at most once per worker."""
         from repro.engine.rdd import CoGroupedRDD, ShuffledRDD
 
+        offer = self.context.executor.offer_block
         if rdd.storage_level is not None:
             data = self.context.block_manager.get(BlockId(rdd.id, partition_index))
             if data is not None:
-                task.preloaded_blocks[(rdd.id, partition_index)] = data
+                ref = BlockId(rdd.id, partition_index).ref()
+                offer(ref, data)
+                task.block_refs.append(ref)
                 return  # the cache hit cuts the pipeline here
         if isinstance(rdd, ShuffledRDD):
             key = (rdd.shuffle_dep.shuffle_id, partition_index)
-            task.preloaded_shuffle[key], _ = self.context.shuffle_manager.fetch(*key)
+            buckets, _ = self.context.shuffle_manager.fetch(*key)
+            ref = ("shuf",) + key
+            offer(ref, buckets)
+            task.block_refs.append(ref)
             return
         if isinstance(rdd, CoGroupedRDD):
             for dep in rdd.shuffle_deps:
                 key = (dep.shuffle_id, partition_index)
-                task.preloaded_shuffle[key], _ = self.context.shuffle_manager.fetch(*key)
+                buckets, _ = self.context.shuffle_manager.fetch(*key)
+                ref = ("shuf",) + key
+                offer(ref, buckets)
+                task.block_refs.append(ref)
             return
         for dep in rdd.dependencies:
             for parent_idx in dep.get_parents(partition_index):
-                self._preload_task_inputs(dep.rdd, parent_idx, task)
+                self._resolve_task_inputs(dep.rdd, parent_idx, task)
 
     def _run_with_retries(self, stage: Stage, tasks: list[Task]) -> dict[int, TaskResult]:
         done: dict[int, TaskResult] = {}

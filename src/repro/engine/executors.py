@@ -1,29 +1,95 @@
-"""Executor backends: serial, thread pool, process pool.
+"""Executor backends: serial, thread pool, persistent process pool.
 
 The scheduler hands an executor a batch of :class:`~repro.engine.stage.Task`
-objects; the executor returns ``(task, result_or_exception)`` pairs.  The
-process backend ships tasks with cloudpickle so user lambdas survive the
-hop; driver-resident inputs were already resolved into the task by the
-scheduler (see ``DAGScheduler._preload_task_inputs``).
+objects; the executor returns ``(task, result_or_exception)`` pairs.
+
+The process backend keeps **persistent, stateful workers**: a task ships
+as a small closure blob plus *references* to named data blocks
+(broadcast payloads, cached RDD partitions, shuffle segments), and each
+worker resolves the references through its process-local
+:class:`~repro.engine.workerstore.WorkerBlockStore` — the driver pushes
+blocks a worker lacks piggybacked on the task batch, the worker pulls
+anything else (e.g. after an LRU eviction) over its pipe.  Tasks are
+batched per worker slot so one cloudpickle round covers the whole batch,
+and every shipped byte is accounted in :class:`ShippingMetrics`.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import TYPE_CHECKING
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.common.errors import EngineError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.stage import Task, TaskResult
+
+
+@dataclass
+class ShippingMetrics:
+    """Driver-side accounting of everything the process pool ships.
+
+    ``naive_block_bytes`` models the seed per-task-pickling path (every
+    task re-ships every payload it references) so benchmarks can report
+    the saving without re-running the old code.
+    """
+
+    batches: int = 0
+    task_bytes: int = 0  # serialized closure blobs (per-batch, shared graph)
+    result_bytes: int = 0
+    blocks_pushed: int = 0
+    block_bytes_pushed: int = 0
+    blocks_pulled: int = 0
+    block_bytes_pulled: int = 0
+    ref_requests: int = 0  # (batch, ref) demand
+    dedup_hits: int = 0  # refs already resident on the target worker
+    broadcast_blocks_shipped: int = 0
+    broadcast_bytes_shipped: int = 0
+    broadcast_unique_blocks: int = 0
+    broadcast_payload_bytes: int = 0  # sum of distinct broadcast blob sizes
+    naive_block_bytes: int = 0  # modeled per-task embedding volume
+    worker_store_evictions: int = 0
+    worker_store_hits: int = 0
+
+    @property
+    def dedup_hit_rate(self) -> float:
+        return self.dedup_hits / self.ref_requests if self.ref_requests else 0.0
+
+    @property
+    def total_shipped_bytes(self) -> int:
+        return self.task_bytes + self.block_bytes_pushed + self.block_bytes_pulled
 
 
 class Executor:
     """Backend interface."""
 
     needs_preload = False  # True when tasks run outside the driver process
+    shipping_metrics: ShippingMetrics | None = None
+    #: Called as ``hook(bc_id, worker_id, nbytes)`` whenever a broadcast
+    #: payload physically reaches a worker (wired by the Context to
+    #: ``BroadcastManager.record_shipment``).
+    broadcast_ship_hook: Callable[[int, str, int], None] | None = None
 
     def run_tasks(self, tasks: list["Task"]) -> list[tuple["Task", "TaskResult | BaseException"]]:
         raise NotImplementedError
+
+    def offer_block(self, key: tuple, data: Any) -> None:
+        """Driver-side registration of a referenceable payload (no-op for
+        backends that share the driver's memory)."""
+
+    def invalidate_block(self, key: tuple) -> None:
+        """Forget a payload (destroyed broadcast); workers drop it too."""
+
+    def reset_shipping(self) -> None:
+        """Zero shipping counters and forget driver-side payloads (used by
+        ``Context.renew_run`` between served jobs)."""
+
+    def shipped_bytes_total(self) -> int:
+        return 0
 
     def shutdown(self) -> None:
         pass
@@ -48,28 +114,38 @@ class SerialExecutor(Executor):
 
 
 class ThreadExecutor(Executor):
-    """Thread-pool backend: shared memory, concurrent I/O."""
+    """Thread-pool backend: shared memory, concurrent I/O.
+
+    Worker ids come from the *executing* thread (assigned once per pool
+    thread by the initializer), not from the submission index — so
+    broadcast-transfer accounting and straggler attribution name the
+    worker that really ran the task.
+    """
 
     def __init__(self, n_threads: int):
         if n_threads < 1:
             raise ValueError("n_threads must be >= 1")
         self._n = n_threads
+        self._slot_counter = itertools.count()
+        self._slots = threading.local()
         self._pool = ThreadPoolExecutor(
-            max_workers=n_threads, thread_name_prefix="repro-exec"
+            max_workers=n_threads,
+            thread_name_prefix="repro-exec",
+            initializer=self._assign_slot,
         )
+
+    def _assign_slot(self) -> None:
+        self._slots.worker_id = f"worker-{next(self._slot_counter)}"
 
     @property
     def parallelism(self) -> int:
         return self._n
 
     def run_tasks(self, tasks):
-        def run_one(indexed):
-            slot, task = indexed
-            return task.run(worker_id=f"worker-{slot % self._n}")
+        def run_one(task):
+            return task.run(worker_id=self._slots.worker_id)
 
-        futures = [
-            (task, self._pool.submit(run_one, (i, task))) for i, task in enumerate(tasks)
-        ]
+        futures = [(task, self._pool.submit(run_one, task)) for task in tasks]
         out = []
         for task, fut in futures:
             try:
@@ -82,51 +158,285 @@ class ThreadExecutor(Executor):
         self._pool.shutdown(wait=True)
 
 
-def _run_pickled_task(blob: bytes, worker_id: str) -> bytes:
-    """Top-level worker entry point (must be importable by child processes)."""
-    import pickle
+@dataclass
+class _WorkerHandle:
+    """Driver-side view of one persistent worker process."""
 
-    import cloudpickle
+    slot: int
+    proc: Any
+    conn: Any
+    known: set = field(default_factory=set)  # keys believed resident
+    pending_drops: list = field(default_factory=list)
 
-    task = pickle.loads(blob)
-    result = task.run(worker_id=worker_id)
-    return cloudpickle.dumps(result)
+    @property
+    def worker_id(self) -> str:
+        return f"worker-{self.slot}"
 
 
 class ProcessExecutor(Executor):
-    """Process-pool backend: true CPU parallelism via cloudpickled tasks."""
+    """Persistent process-pool backend with worker-resident block caches.
+
+    Workers are long-lived (stable ``worker-{slot}`` identities, one pipe
+    each); ``run_tasks`` batches tasks round-robin across slots, ships
+    each batch as one cloudpickle blob with broadcasts reduced to ids,
+    and pushes only the block payloads the target worker does not
+    already hold.  Worker-side misses (LRU evictions, restarts) fall
+    back to a pull over the pipe.
+    """
 
     needs_preload = True
 
-    def __init__(self, n_processes: int | None = None):
+    def __init__(self, n_processes: int | None = None, worker_store_bytes: int | None = None):
+        from repro.engine.workerstore import DEFAULT_STORE_BYTES
+
         self._n = n_processes or max(1, (os.cpu_count() or 2) - 1)
-        self._pool = ProcessPoolExecutor(max_workers=self._n)
+        self._store_budget = (
+            DEFAULT_STORE_BYTES if worker_store_bytes is None else worker_store_bytes
+        )
+        self._handles: list[_WorkerHandle] | None = None
+        self._dispatch: ThreadPoolExecutor | None = None
+        self._mpctx = None
+        self._lock = threading.Lock()
+        self._driver_blocks: dict[tuple, Any] = {}  # key -> payload object
+        self._blob_cache: dict[tuple, bytes] = {}  # key -> serialized payload
+        self._bc_payloads: dict[tuple, Any] = {}  # ("bc", id) -> Broadcast
+        self.shipping_metrics = ShippingMetrics()
 
     @property
     def parallelism(self) -> int:
         return self._n
 
+    # -- driver-side block registry ---------------------------------------
+    def offer_block(self, key: tuple, data: Any) -> None:
+        with self._lock:
+            if key not in self._driver_blocks:
+                self._driver_blocks[key] = data
+
+    def invalidate_block(self, key: tuple) -> None:
+        with self._lock:
+            self._driver_blocks.pop(key, None)
+            self._blob_cache.pop(key, None)
+            self._bc_payloads.pop(key, None)
+            if self._handles:
+                for handle in self._handles:
+                    if key in handle.known:
+                        handle.known.discard(key)
+                        handle.pending_drops.append(key)
+
+    def reset_shipping(self) -> None:
+        with self._lock:
+            self._driver_blocks.clear()
+            self._blob_cache.clear()
+            self._bc_payloads.clear()
+            if self._handles:
+                for handle in self._handles:
+                    handle.pending_drops.extend(handle.known)
+                    handle.known.clear()
+            self.shipping_metrics = ShippingMetrics()
+
+    def shipped_bytes_total(self) -> int:
+        return self.shipping_metrics.total_shipped_bytes
+
+    def _payload_blob(self, key: tuple) -> bytes | None:
+        """Serialized payload for ``key`` (cached; one pickling per key)."""
+        import cloudpickle
+
+        with self._lock:
+            blob = self._blob_cache.get(key)
+            if blob is not None:
+                return blob
+            bc = self._bc_payloads.get(key)
+            obj = self._driver_blocks.get(key)
+        if bc is not None:
+            blob = bc.shipping_blob()
+        elif obj is not None or key in self._driver_blocks:
+            blob = cloudpickle.dumps(obj)
+        else:
+            return None
+        with self._lock:
+            self._blob_cache[key] = blob
+        return blob
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _ensure_started(self) -> None:
+        if self._handles is not None:
+            return
+        import multiprocessing as mp
+
+        methods = mp.get_all_start_methods()
+        self._mpctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        self._handles = [self._spawn(slot) for slot in range(self._n)]
+        self._dispatch = ThreadPoolExecutor(
+            max_workers=self._n, thread_name_prefix="repro-ship"
+        )
+
+    def _spawn(self, slot: int) -> _WorkerHandle:
+        from repro.engine.workerstore import _worker_main
+
+        parent_conn, child_conn = self._mpctx.Pipe()
+        proc = self._mpctx.Process(
+            target=_worker_main,
+            args=(child_conn, slot, self._store_budget),
+            daemon=True,
+            name=f"repro-worker-{slot}",
+        )
+        proc.start()
+        child_conn.close()
+        return _WorkerHandle(slot=slot, proc=proc, conn=parent_conn)
+
+    def _respawn(self, slot: int) -> None:
+        handle = self._handles[slot]
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.proc.is_alive():
+            handle.proc.terminate()
+        handle.proc.join(timeout=5)
+        self._handles[slot] = self._spawn(slot)
+
+    # -- execution ---------------------------------------------------------
     def run_tasks(self, tasks):
+        if not tasks:
+            return []
+        self._ensure_started()
+        batches: list[list] = [[] for _ in range(self._n)]
+        for i, task in enumerate(tasks):
+            batches[i % self._n].append(task)
+        futures = [
+            self._dispatch.submit(self._run_batch, slot, batch)
+            for slot, batch in enumerate(batches)
+            if batch
+        ]
+        out = []
+        for fut in futures:
+            out.extend(fut.result())
+        return out
+
+    def _run_batch(self, slot: int, batch: list):
         import pickle
 
         import cloudpickle
 
-        futures = []
-        for i, task in enumerate(tasks):
-            blob = cloudpickle.dumps(task)
-            futures.append(
-                (task, self._pool.submit(_run_pickled_task, blob, f"worker-{i % self._n}"))
-            )
+        from repro.engine.broadcast import broadcast_key, ship_broadcasts_by_ref
+
+        handle = self._handles[slot]
+        ms = self.shipping_metrics
+
+        # One cloudpickle round per batch: the RDD graph is serialized
+        # once (pickle memoization shares it across the batch's tasks)
+        # and broadcasts collapse to ids, collected for shipping below.
+        collector: dict[int, Any] = {}
+        with ship_broadcasts_by_ref(collector):
+            batch_blob = cloudpickle.dumps(batch)
+
+        bc_refs = {broadcast_key(bc_id): bc for bc_id, bc in collector.items()}
+        with self._lock:
+            self._bc_payloads.update(bc_refs)
+        ref_demand: dict[tuple, int] = {}  # key -> number of referencing tasks
+        for key in bc_refs:
+            ref_demand[key] = len(batch)  # the closure is shared batch-wide
+        for task in batch:
+            for key in task.block_refs:
+                ref_demand[key] = ref_demand.get(key, 0) + 1
+
+        push: dict[tuple, bytes] = {}
+        for key in sorted(ref_demand):
+            blob = self._payload_blob(key)
+            if blob is None:
+                continue  # resolvable driver-side only; worker will fail loudly
+            demand = ref_demand[key]
+            with self._lock:
+                # Count demand per *task reference*: that is the unit the
+                # seed shipped at (one embedded copy per task), so the
+                # dedup hit-rate reads as "fraction of references served
+                # from a worker-resident copy".
+                ms.ref_requests += demand
+                ms.naive_block_bytes += len(blob) * demand
+                if key in handle.known:
+                    ms.dedup_hits += demand
+                    continue
+                push[key] = blob
+                ms.dedup_hits += demand - 1  # one shipment covers the rest
+                handle.known.add(key)
+                ms.blocks_pushed += 1
+                ms.block_bytes_pushed += len(blob)
+                if key[0] == "bc":
+                    self._record_broadcast_shipment(key, handle, len(blob))
+        drops, handle.pending_drops = handle.pending_drops, []
+
+        try:
+            handle.conn.send(("run", batch_blob, drops, push))
+            while True:
+                msg = handle.conn.recv()
+                if msg[0] == "pull":
+                    key = msg[1]
+                    blob = self._payload_blob(key)
+                    handle.conn.send(("block", key, blob))
+                    if blob is not None:
+                        with self._lock:
+                            handle.known.add(key)
+                            ms.blocks_pulled += 1
+                            ms.block_bytes_pulled += len(blob)
+                            if key[0] == "bc":
+                                self._record_broadcast_shipment(key, handle, len(blob))
+                    continue
+                _tag, results_blob, stored_keys, stats = msg
+                break
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            self._respawn(slot)
+            err = EngineError(f"worker-{slot} died mid-batch: {exc!r}")
+            return [(task, err) for task in batch]
+
+        with self._lock:
+            handle.known.update(stored_keys)
+            ms.batches += 1
+            ms.task_bytes += len(batch_blob)
+            ms.result_bytes += len(results_blob)
+            ms.worker_store_evictions += stats.get("evictions", 0)
+            ms.worker_store_hits += stats.get("store_hits", 0)
+
+        outcomes = pickle.loads(results_blob)
         out = []
-        for task, fut in futures:
-            try:
-                out.append((task, pickle.loads(fut.result())))
-            except BaseException as exc:  # noqa: BLE001
-                out.append((task, exc))
+        for task, (ok, payload) in zip(batch, outcomes):
+            if ok:
+                payload.task = task  # reattach the driver's Task object
+            out.append((task, payload))
         return out
 
+    def _record_broadcast_shipment(self, key: tuple, handle: _WorkerHandle, nbytes: int) -> None:
+        """Caller holds ``self._lock``."""
+        ms = self.shipping_metrics
+        ms.broadcast_blocks_shipped += 1
+        ms.broadcast_bytes_shipped += nbytes
+        shipped_before = any(
+            key in h.known for h in self._handles if h is not handle
+        )
+        if not shipped_before:
+            ms.broadcast_unique_blocks += 1
+            ms.broadcast_payload_bytes += nbytes
+        if self.broadcast_ship_hook is not None:
+            self.broadcast_ship_hook(key[1], handle.worker_id, nbytes)
+
     def shutdown(self) -> None:
-        self._pool.shutdown(wait=True)
+        if self._handles is not None:
+            for handle in self._handles:
+                try:
+                    handle.conn.send(("stop",))
+                except (OSError, BrokenPipeError):
+                    pass
+                try:
+                    handle.conn.close()
+                except OSError:
+                    pass
+            for handle in self._handles:
+                handle.proc.join(timeout=5)
+                if handle.proc.is_alive():
+                    handle.proc.terminate()
+            self._handles = None
+        if self._dispatch is not None:
+            self._dispatch.shutdown(wait=True)
+            self._dispatch = None
 
 
 #: Valid ``backend=`` names, in documentation order.  The CLI derives its
@@ -135,14 +445,22 @@ class ProcessExecutor(Executor):
 BACKENDS = ("serial", "threads", "processes")
 
 
-def make_executor(backend: str, parallelism: int | None = None) -> Executor:
-    """Factory: ``"serial"``, ``"threads"`` or ``"processes"``."""
+def make_executor(
+    backend: str,
+    parallelism: int | None = None,
+    worker_store_bytes: int | None = None,
+) -> Executor:
+    """Factory: ``"serial"``, ``"threads"`` or ``"processes"``.
+
+    ``worker_store_bytes`` budgets each process-pool worker's resident
+    block cache (ignored by the in-driver backends).
+    """
     if backend == "serial":
         return SerialExecutor()
     if backend == "threads":
         return ThreadExecutor(parallelism or max(2, (os.cpu_count() or 2)))
     if backend == "processes":
-        return ProcessExecutor(parallelism)
+        return ProcessExecutor(parallelism, worker_store_bytes=worker_store_bytes)
     raise ValueError(
         f"unknown executor backend {backend!r}; valid backends: {', '.join(BACKENDS)}"
     )

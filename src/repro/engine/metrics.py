@@ -42,6 +42,9 @@ class StageSummary:
     shuffle_read_bytes: int
     shuffle_write_bytes: int
     input_bytes: int
+    #: Bytes the executor physically shipped to workers while running this
+    #: stage (closure blobs + pushed/pulled blocks); 0 for in-driver backends.
+    shipped_bytes: int = 0
 
 
 @dataclass
@@ -91,7 +94,7 @@ class EventLog:
     def total_task_seconds(self) -> float:
         return sum(t.duration_s for t in self.tasks)
 
-    def summarize_stage(self, stage_id: int, kind: str) -> StageSummary:
+    def summarize_stage(self, stage_id: int, kind: str, shipped_bytes: int = 0) -> StageSummary:
         ts = self.tasks_for_stage(stage_id)
         summary = StageSummary(
             stage_id=stage_id,
@@ -102,6 +105,7 @@ class EventLog:
             shuffle_read_bytes=sum(t.shuffle_read_bytes for t in ts),
             shuffle_write_bytes=sum(t.shuffle_write_bytes for t in ts),
             input_bytes=sum(t.input_bytes for t in ts),
+            shipped_bytes=shipped_bytes,
         )
         self.record_stage(summary)
         return summary

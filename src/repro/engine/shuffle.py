@@ -36,6 +36,10 @@ class ShuffleManager:
         self._outputs: dict[tuple[int, int], list[list]] = {}
         self._sizes: dict[tuple[int, int], list[int]] = {}
         self._expected_maps: dict[int, int] = {}
+        # Registered map-output count per shuffle, maintained by
+        # put_map_output so is_complete is O(1) instead of a scan over
+        # every output (it runs once per stage execution attempt).
+        self._registered_maps: dict[int, int] = {}
         self._lock = threading.Lock()
         self.metrics = ShuffleMetrics()
         self.tracer = tracer
@@ -50,8 +54,13 @@ class ShuffleManager:
         size_by_bucket = [estimate_size(b) if b else 0 for b in buckets]
         total = sum(size_by_bucket)
         with self._lock:
-            self._outputs[(shuffle_id, map_partition)] = buckets
-            self._sizes[(shuffle_id, map_partition)] = size_by_bucket
+            key = (shuffle_id, map_partition)
+            if key not in self._outputs:  # re-puts (retries) count once
+                self._registered_maps[shuffle_id] = (
+                    self._registered_maps.get(shuffle_id, 0) + 1
+                )
+            self._outputs[key] = buckets
+            self._sizes[key] = size_by_bucket
             self.metrics.blocks_written += sum(1 for b in buckets if b)
             self.metrics.bytes_written += total
         if self.tracer is not None:
@@ -70,8 +79,7 @@ class ShuffleManager:
             expected = self._expected_maps.get(shuffle_id)
             if expected is None:
                 return False
-            have = sum(1 for sid, _ in self._outputs if sid == shuffle_id)
-            return have >= expected
+            return self._registered_maps.get(shuffle_id, 0) >= expected
 
     def fetch(self, shuffle_id: int, reduce_partition: int) -> tuple[list[list], int]:
         """All map buckets destined for ``reduce_partition``.
@@ -116,9 +124,11 @@ class ShuffleManager:
                 del self._outputs[key]
                 del self._sizes[key]
             self._expected_maps.pop(shuffle_id, None)
+            self._registered_maps.pop(shuffle_id, None)
 
     def clear(self) -> None:
         with self._lock:
             self._outputs.clear()
             self._sizes.clear()
             self._expected_maps.clear()
+            self._registered_maps.clear()

@@ -64,12 +64,28 @@ class Task:
     partition: Partition
     func: Callable | None = None  # result tasks
     shuffle_dep: ShuffleDependency | None = None  # shuffle-map tasks
+    #: References to driver-registered data blocks this task needs —
+    #: ``("rdd", rdd_id, part)`` / ``("shuf", shuffle_id, part)`` tuples.
+    #: The process backend ships these ids instead of the payloads; the
+    #: worker resolves them through its block store (see
+    #: :mod:`repro.engine.workerstore`) before running the task.
+    block_refs: list = field(default_factory=list)
     preloaded_blocks: dict = field(default_factory=dict)
     preloaded_shuffle: dict = field(default_factory=dict)
     attempt: int = 0
 
     def describe(self) -> str:
         return f"{self.kind}(stage={self.stage_id}, partition={self.partition.index})"
+
+    def resolve_refs(self, resolver: Callable[[tuple], Any]) -> None:
+        """Materialize :attr:`block_refs` into the preloaded-input dicts
+        (worker side; ``resolver`` is the block store's cache-or-pull)."""
+        for ref in self.block_refs:
+            kind = ref[0]
+            if kind == "rdd":
+                self.preloaded_blocks[(ref[1], ref[2])] = resolver(ref)
+            elif kind == "shuf":
+                self.preloaded_shuffle[(ref[1], ref[2])] = resolver(ref)
 
     def run(self, worker_id: str = "driver") -> "TaskResult":
         metrics = TaskMetrics(

@@ -42,6 +42,12 @@ class BlockId:
     def filename(self) -> str:
         return f"rdd_{self.rdd_id}_part_{self.partition}.pkl"
 
+    def ref(self) -> tuple:
+        """The worker-store reference key for this cached partition (the
+        process backend ships this id instead of the partition's data;
+        see :mod:`repro.engine.workerstore`)."""
+        return ("rdd", self.rdd_id, self.partition)
+
 
 @dataclass
 class StorageMetrics:

@@ -36,7 +36,7 @@ class Span:
     """One timed interval on one track (thread/worker lane)."""
 
     name: str
-    category: str  # "job" | "stage" | "task" | "driver" | "broadcast" | "shuffle" | "cache"
+    category: str  # "job" | "stage" | "task" | "driver" | "broadcast" | "shuffle" | "cache" | "ship"
     start_s: float  # perf_counter timestamp
     duration_s: float
     track: str = "driver"
@@ -249,12 +249,37 @@ class EngineMetrics:
     cache_misses: int = 0
     cache_evictions: int = 0
     cache_spills: int = 0
+    # task-shipping economics (process backend; zero for in-driver backends)
+    shipped_task_bytes: int = 0
+    shipped_block_bytes_pushed: int = 0
+    shipped_block_bytes_pulled: int = 0
+    blocks_pushed: int = 0
+    blocks_pulled: int = 0
+    broadcast_blocks_shipped: int = 0
+    broadcast_bytes_shipped: int = 0
+    ship_dedup_hits: int = 0
+    ship_ref_requests: int = 0
+    worker_store_evictions: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
         hits = self.cache_memory_hits + self.cache_disk_hits
         total = hits + self.cache_misses
         return hits / total if total else 0.0
+
+    @property
+    def total_shipped_bytes(self) -> int:
+        return (
+            self.shipped_task_bytes
+            + self.shipped_block_bytes_pushed
+            + self.shipped_block_bytes_pulled
+        )
+
+    @property
+    def ship_dedup_hit_rate(self) -> float:
+        """Fraction of block references served from a worker-resident
+        cache instead of being shipped (broadcast/block dedup)."""
+        return self.ship_dedup_hits / self.ship_ref_requests if self.ship_ref_requests else 0.0
 
     def summary(self) -> str:
         return (
@@ -263,7 +288,9 @@ class EngineMetrics:
             f"shuffle_written={self.shuffle_bytes_written}B "
             f"shuffle_fetched={self.shuffle_bytes_fetched}B "
             f"broadcast={self.broadcast_transfers}x/{self.broadcast_bytes}B "
-            f"cache_hit_rate={self.cache_hit_rate:.2f}"
+            f"cache_hit_rate={self.cache_hit_rate:.2f} "
+            f"shipped={self.total_shipped_bytes}B "
+            f"ship_dedup={self.ship_dedup_hit_rate:.2f}"
         )
 
 
@@ -273,6 +300,21 @@ def collect_engine_metrics(ctx) -> EngineMetrics:
     shuffle = ctx.shuffle_manager.metrics
     storage = ctx.block_manager.metrics
     broadcast = ctx.broadcast_manager
+    ship = getattr(ctx.executor, "shipping_metrics", None)
+    ship_fields = {}
+    if ship is not None:
+        ship_fields = dict(
+            shipped_task_bytes=ship.task_bytes,
+            shipped_block_bytes_pushed=ship.block_bytes_pushed,
+            shipped_block_bytes_pulled=ship.block_bytes_pulled,
+            blocks_pushed=ship.blocks_pushed,
+            blocks_pulled=ship.blocks_pulled,
+            broadcast_blocks_shipped=ship.broadcast_blocks_shipped,
+            broadcast_bytes_shipped=ship.broadcast_bytes_shipped,
+            ship_dedup_hits=ship.dedup_hits,
+            ship_ref_requests=ship.ref_requests,
+            worker_store_evictions=ship.worker_store_evictions,
+        )
     return EngineMetrics(
         n_jobs=len(log.jobs),
         n_stages=len(log.stages),
@@ -287,4 +329,5 @@ def collect_engine_metrics(ctx) -> EngineMetrics:
         cache_misses=storage.misses,
         cache_evictions=storage.evictions,
         cache_spills=storage.spills,
+        **ship_fields,
     )

@@ -123,3 +123,40 @@ class TestSizeof:
         small = estimate_size([(i, "x" * 8) for i in range(1_000)])
         big = estimate_size([(i, "x" * 8) for i in range(50_000)])
         assert big > small
+
+    def test_small_inputs_are_exact(self):
+        for obj in (list(range(1023)), {i: i for i in range(500)}, set(range(500))):
+            assert estimate_size(obj) == pickled_size(obj)
+
+    def test_sampled_relative_error_bounded_homogeneous(self):
+        # Homogeneous data is the estimator's contract case: an evenly
+        # spaced sample extrapolated by marginal per-element cost must
+        # land within 15% of the exact pickled size.
+        cases = [
+            [(i, i * 2, "payload") for i in range(30_000)],
+            list(range(50_000)),
+            ["w%06d" % i for i in range(20_000)],
+            {i: "v%d" % i for i in range(25_000)},
+            set(range(25_000)),
+        ]
+        for obj in cases:
+            est = estimate_size(obj)
+            actual = pickled_size(obj)
+            assert abs(est - actual) / actual < 0.15, type(obj)
+
+    def test_sampling_does_not_walk_every_element(self):
+        _LoudPickle.reduces = 0
+        xs = [_LoudPickle() for _ in range(10_000)]
+        estimate_size(xs)
+        # Two sample pickles (full + half), each ~256 elements max.
+        assert _LoudPickle.reduces < 1_000
+
+
+class _LoudPickle:
+    """Counts how many instances the pickler actually visits."""
+
+    reduces = 0
+
+    def __reduce__(self):
+        _LoudPickle.reduces += 1
+        return (_LoudPickle, ())

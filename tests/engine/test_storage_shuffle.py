@@ -112,6 +112,30 @@ class TestShuffleManager:
         sm.put_map_output(1, 1, [[]])
         assert sm.is_complete(1)
 
+    def test_is_complete_counts_retried_map_once(self):
+        # The completeness check is a registered-map counter, not a scan:
+        # a retried map task re-putting its output must not double-count.
+        sm = ShuffleManager()
+        sm.register_shuffle(3, num_maps=2)
+        sm.put_map_output(3, 0, [[("a", 1)]])
+        sm.put_map_output(3, 0, [[("a", 1)]])  # task retry
+        assert not sm.is_complete(3)
+        sm.put_map_output(3, 1, [[]])
+        assert sm.is_complete(3)
+
+    def test_is_complete_reset_by_removal(self):
+        sm = ShuffleManager()
+        sm.register_shuffle(4, num_maps=1)
+        sm.put_map_output(4, 0, [[("k", 1)]])
+        assert sm.is_complete(4)
+        sm.remove_shuffle(4)
+        assert not sm.is_complete(4)
+        sm.register_shuffle(5, num_maps=1)
+        sm.put_map_output(5, 0, [[("k", 1)]])
+        assert sm.is_complete(5)
+        sm.clear()
+        assert not sm.is_complete(5)
+
     def test_fetch_unknown_shuffle(self):
         with pytest.raises(EngineError):
             ShuffleManager().fetch(42, 0)

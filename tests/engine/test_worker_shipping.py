@@ -1,0 +1,232 @@
+"""Zero-redundancy task shipping: worker block store, broadcast dedup,
+task batching, stable worker ids, and serve-layer composition.
+
+The process backend ships each task as a small closure blob plus block
+*references*; persistent workers resolve references against a local LRU
+store and pull a missing block from the driver at most once.  These tests
+pin the economics (one broadcast shipment per worker, not per task) and
+the fallback paths (LRU eviction -> re-pull, worker crash -> respawn).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.engine import Context
+from repro.engine.workerstore import (
+    _MISS,
+    WorkerBlockStore,
+    broadcast_key,
+    rdd_block_key,
+)
+
+
+@pytest.fixture()
+def pctx():
+    with Context(backend="processes", parallelism=2) as c:
+        yield c
+
+
+class TestWorkerBlockStore:
+    def test_put_get(self):
+        store = WorkerBlockStore(budget_bytes=1000)
+        store.put(("bc", 1), [1, 2, 3], 100)
+        assert store.get(("bc", 1)) == [1, 2, 3]
+        assert store.total_bytes == 100
+
+    def test_miss_is_sentinel_not_none(self):
+        store = WorkerBlockStore(budget_bytes=1000)
+        store.put(("bc", 1), None, 10)  # None is a legal block value
+        assert store.get(("bc", 1)) is None
+        assert store.get(("bc", 2)) is _MISS
+
+    def test_lru_eviction_order(self):
+        store = WorkerBlockStore(budget_bytes=250)
+        store.put(("bc", 1), "a", 100)
+        store.put(("bc", 2), "b", 100)
+        store.get(("bc", 1))  # touch 1 -> 2 becomes LRU
+        store.put(("bc", 3), "c", 100)  # over budget: evicts 2
+        assert store.get(("bc", 2)) is _MISS
+        assert store.get(("bc", 1)) == "a"
+        assert store.get(("bc", 3)) == "c"
+        assert store.evictions == 1
+        assert store.total_bytes == 200
+
+    def test_keeps_at_least_one_block(self):
+        store = WorkerBlockStore(budget_bytes=10)
+        store.put(("rdd", 1, 0), list(range(100)), 5000)
+        # The just-inserted block survives even though it busts the budget.
+        assert store.get(("rdd", 1, 0)) == list(range(100))
+
+    def test_remove(self):
+        store = WorkerBlockStore(budget_bytes=1000)
+        store.put(("shuf", 1, 0), "x", 50)
+        assert store.remove(("shuf", 1, 0))
+        assert not store.remove(("shuf", 1, 0))
+        assert store.get(("shuf", 1, 0)) is _MISS
+        assert store.total_bytes == 0
+
+    def test_key_helpers(self):
+        assert broadcast_key(7) == ("bc", 7)
+        assert rdd_block_key(3, 1) == ("rdd", 3, 1)
+
+
+class TestBroadcastOncePerWorker:
+    def test_broadcast_ships_once_per_worker_not_per_task(self, pctx):
+        payload = {i: "x" * 50 for i in range(200)}
+        bc = pctx.broadcast(payload)
+        rdd = pctx.parallelize(range(12), 6).map(lambda x, b=bc: (x, len(b.value)))
+        assert rdd.collect() == [(i, 200) for i in range(12)]
+
+        m = pctx.executor.shipping_metrics
+        # 6 tasks referenced the broadcast but only 2 workers exist: the
+        # payload crossed the IPC channel exactly once per worker.
+        assert m.broadcast_unique_blocks == 1
+        assert m.broadcast_blocks_shipped == 2
+        assert m.broadcast_bytes_shipped == 2 * bc.shipping_size_bytes()
+        assert m.dedup_hits >= 4  # the other 4 task references were free
+        # The broadcast manager's per-worker ledger agrees.
+        assert pctx.broadcast_manager.transfers == 2
+
+    def test_second_job_ships_nothing(self, pctx):
+        bc = pctx.broadcast(list(range(1000)))
+        rdd = pctx.parallelize(range(8), 4).map(lambda x, b=bc: b.value[x])
+        rdd.collect()
+        m = pctx.executor.shipping_metrics
+        shipped_after_first = m.broadcast_bytes_shipped
+        assert shipped_after_first > 0
+        rdd.collect()  # same broadcast, warm worker caches
+        assert m.broadcast_bytes_shipped == shipped_after_first
+
+    def test_destroy_invalidates_worker_caches(self, pctx):
+        bc = pctx.broadcast([1, 2, 3])
+        pctx.parallelize(range(4), 4).map(lambda x, b=bc: b.value[0]).collect()
+        m = pctx.executor.shipping_metrics
+        first = m.broadcast_bytes_shipped
+        bc.destroy()
+        bc2 = pctx.broadcast([4, 5, 6])
+        got = pctx.parallelize(range(4), 4).map(lambda x, b=bc2: b.value[0]).collect()
+        assert got == [4, 4, 4, 4]
+        assert m.broadcast_bytes_shipped > first  # new payload really shipped
+
+
+class TestWorkerStoreEvictionRepull:
+    def test_evicted_block_is_pulled_again(self):
+        # A 1-byte budget keeps only the most recent block: pushing B
+        # evicts A, so reusing A forces the miss->pull path (the driver
+        # still believes the worker holds A and does not re-push it).
+        with Context(backend="processes", parallelism=1, worker_store_bytes=1) as ctx:
+            bc_a = ctx.broadcast("a" * 2000)
+            bc_b = ctx.broadcast("b" * 2000)
+            ctx.parallelize([0], 1).map(lambda x, b=bc_a: len(b.value)).collect()
+            ctx.parallelize([0], 1).map(lambda x, b=bc_b: len(b.value)).collect()
+            got = ctx.parallelize([0], 1).map(lambda x, b=bc_a: len(b.value)).collect()
+            assert got == [2000]
+            m = ctx.executor.shipping_metrics
+            assert m.worker_store_evictions >= 1
+            assert m.blocks_pulled >= 1
+            assert m.block_bytes_pulled > 0
+
+
+class TestTaskBatching:
+    def test_more_partitions_than_workers_matches_serial(self, pctx):
+        data = [(i % 5, i) for i in range(70)]
+        with Context(backend="serial") as sctx:
+            expect = (
+                sctx.parallelize(data, 7)
+                .reduce_by_key(lambda a, b: a + b)
+                .collect_as_map()
+            )
+        got = (
+            pctx.parallelize(data, 7)
+            .reduce_by_key(lambda a, b: a + b)
+            .collect_as_map()
+        )
+        assert got == expect
+        # 7 map tasks round-robin onto 2 workers as at most 2 batches/stage.
+        m = pctx.executor.shipping_metrics
+        assert m.batches >= 2
+
+    def test_worker_crash_mid_batch_respawns_and_retries(self, pctx, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+
+        def boom(x, marker=marker):
+            if x == 3 and not os.path.exists(marker):
+                open(marker, "w").close()
+                os._exit(1)  # kill the worker process, not just the task
+            return x * 10
+
+        got = sorted(pctx.parallelize(range(6), 3).map(boom).collect())
+        assert got == [0, 10, 20, 30, 40, 50]
+
+    def test_cached_rdd_reused_from_driver_blocks(self, pctx):
+        rdd = pctx.parallelize(range(20), 4).map(lambda x: x * 2).cache()
+        assert rdd.sum() == 380
+        m = pctx.executor.shipping_metrics
+        pushed_after_first = m.blocks_pushed
+        assert rdd.sum() == 380  # cached partitions resolve as references
+        assert m.blocks_pushed == pushed_after_first  # worker store had them
+
+
+class TestStableWorkerIds:
+    def test_thread_worker_id_reflects_executing_thread(self):
+        from repro.engine.task import current_task_context
+
+        def tag(tc, it):
+            data = list(it)
+            if data and data[0] == 0:
+                time.sleep(0.8)  # pin one thread on partition 0
+            return (current_task_context().worker_id, data and data[0])
+
+        with Context(backend="threads", parallelism=2) as ctx:
+            rdd = ctx.parallelize(range(6), 6)
+            out = ctx.run_job(rdd, tag)
+        ids = {wid for wid, _first in out}
+        assert ids <= {"worker-0", "worker-1"}
+        # While partition 0 blocks one thread, the other thread drains the
+        # remaining 5 tasks — they must all report the SAME worker id (the
+        # old submission-index scheme would alternate ids regardless of
+        # which thread actually ran the task).
+        fast_ids = {wid for wid, first in out if first != 0}
+        assert len(fast_ids) == 1
+        assert {wid for wid, first in out if first == 0} != fast_ids
+
+    def test_process_worker_ids_are_stable_slots(self, pctx):
+        from repro.engine.task import current_task_context
+
+        out = pctx.run_job(
+            pctx.parallelize(range(8), 8),
+            lambda tc, it: current_task_context().worker_id,
+        )
+        assert set(out) == {"worker-0", "worker-1"}
+        # Round-robin batching: even partitions on slot 0, odd on slot 1.
+        assert out[0::2] == ["worker-0"] * 4
+        assert out[1::2] == ["worker-1"] * 4
+
+
+class TestServeComposition:
+    def test_service_with_process_backend_and_context_reuse(self):
+        from repro.core.api import mine_frequent_itemsets
+        from repro.core.registry import MiningConfig
+        from repro.serve import MiningService
+
+        from repro.datasets import mushroom_like
+
+        ds = mushroom_like(scale=0.03, seed=3)
+        cfg_a = MiningConfig(min_support=0.4, backend="processes", parallelism=2)
+        cfg_b = MiningConfig(min_support=0.5, backend="processes", parallelism=2)
+        direct_a = mine_frequent_itemsets(ds.transactions, config=cfg_a)
+        direct_b = mine_frequent_itemsets(ds.transactions, config=cfg_b)
+
+        with MiningService(n_workers=1) as service:
+            # Two jobs through ONE warm context: the second exercises
+            # renew_run on a live stateful worker pool.
+            job_a = service.submit(ds.transactions, cfg_a)
+            assert service.wait(job_a.job_id, timeout=120).state.value == "done"
+            job_b = service.submit(ds.transactions, cfg_b)
+            assert service.wait(job_b.job_id, timeout=120).state.value == "done"
+            assert job_a.result.itemsets == direct_a.itemsets
+            assert job_b.result.itemsets == direct_b.itemsets

@@ -69,12 +69,21 @@ class Context:
         self.block_manager = BlockManager(memory_limit_bytes, tracer=self.tracer)
         self.shuffle_manager = ShuffleManager(tracer=self.tracer)
         self.broadcast_manager = BroadcastManager(tracer=self.tracer)
-        # Process-backend wiring: destroyed broadcasts are dropped from
-        # worker caches, and physical payload shipments feed the
-        # broadcast manager's per-worker transfer accounting.
+        # Process-backend wiring: destroyed broadcasts, released shuffle
+        # outputs and removed cached partitions are all dropped from the
+        # executor's driver registry and the worker caches (iterative
+        # miners call clear_shuffle_outputs between passes precisely to
+        # bound driver memory — without these hooks the executor would
+        # accumulate every iteration's payloads twice, object + blob);
+        # physical payload shipments feed the broadcast manager's
+        # per-worker transfer accounting.
         self.broadcast_manager.on_unregister = (
             lambda bc: self.executor.invalidate_block(("bc", bc.id))
         )
+        self.shuffle_manager.on_remove = lambda shuffle_id: self.executor.invalidate_prefix(
+            ("shuf",) if shuffle_id is None else ("shuf", shuffle_id)
+        )
+        self.block_manager.on_remove = self.executor.invalidate_prefix
         self.executor.broadcast_ship_hook = self.broadcast_manager.record_shipment
         self.accumulators = AccumulatorRegistry()
         self.event_log = EventLog()

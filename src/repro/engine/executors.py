@@ -84,6 +84,12 @@ class Executor:
     def invalidate_block(self, key: tuple) -> None:
         """Forget a payload (destroyed broadcast); workers drop it too."""
 
+    def invalidate_prefix(self, prefix: tuple) -> None:
+        """Forget every payload whose key starts with ``prefix`` — e.g.
+        ``("shuf", 3)`` when shuffle 3's map outputs are released, or
+        ``("rdd",)`` when the block manager is cleared.  Iterative jobs
+        rely on this to keep driver and worker memory bounded."""
+
     def reset_shipping(self) -> None:
         """Zero shipping counters and forget driver-side payloads (used by
         ``Context.renew_run`` between served jobs)."""
@@ -213,15 +219,20 @@ class ProcessExecutor(Executor):
                 self._driver_blocks[key] = data
 
     def invalidate_block(self, key: tuple) -> None:
+        self.invalidate_prefix(key)
+
+    def invalidate_prefix(self, prefix: tuple) -> None:
+        n = len(prefix)
         with self._lock:
-            self._driver_blocks.pop(key, None)
-            self._blob_cache.pop(key, None)
-            self._bc_payloads.pop(key, None)
+            for registry in (self._driver_blocks, self._blob_cache, self._bc_payloads):
+                for key in [k for k in registry if k[:n] == prefix]:
+                    del registry[key]
             if self._handles:
                 for handle in self._handles:
-                    if key in handle.known:
-                        handle.known.discard(key)
-                        handle.pending_drops.append(key)
+                    dropped = [k for k in handle.known if k[:n] == prefix]
+                    if dropped:
+                        handle.known.difference_update(dropped)
+                        handle.pending_drops.extend(dropped)
 
     def reset_shipping(self) -> None:
         with self._lock:
@@ -263,8 +274,15 @@ class ProcessExecutor(Executor):
             return
         import multiprocessing as mp
 
+        # Fork is cheap (workers inherit the driver's imports), but forking
+        # a multi-threaded process can deadlock the child on locks held by
+        # other threads at fork time (and is deprecated on Python 3.12+).
+        # Under repro.serve the first batch arrives on a thread of the
+        # multi-threaded HTTP server, so fall back to spawn whenever other
+        # threads are already alive.
         methods = mp.get_all_start_methods()
-        self._mpctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        use_fork = "fork" in methods and threading.active_count() == 1
+        self._mpctx = mp.get_context("fork" if use_fork else "spawn")
         self._handles = [self._spawn(slot) for slot in range(self._n)]
         self._dispatch = ThreadPoolExecutor(
             max_workers=self._n, thread_name_prefix="repro-ship"
@@ -363,7 +381,8 @@ class ProcessExecutor(Executor):
                 ms.block_bytes_pushed += len(blob)
                 if key[0] == "bc":
                     self._record_broadcast_shipment(key, handle, len(blob))
-        drops, handle.pending_drops = handle.pending_drops, []
+        with self._lock:
+            drops, handle.pending_drops = handle.pending_drops, []
 
         try:
             handle.conn.send(("run", batch_blob, drops, push))
@@ -397,6 +416,16 @@ class ProcessExecutor(Executor):
             ms.worker_store_hits += stats.get("store_hits", 0)
 
         outcomes = pickle.loads(results_blob)
+        if len(outcomes) != len(batch):
+            # zip() would silently drop tasks; a worker that miscounts its
+            # batch cannot be trusted — restart it and fail the whole batch
+            # as retryable so the scheduler re-runs every task.
+            self._respawn(slot)
+            err = EngineError(
+                f"worker-{slot} returned {len(outcomes)} outcomes for a "
+                f"batch of {len(batch)} tasks"
+            )
+            return [(task, err) for task in batch]
         out = []
         for task, (ok, payload) in zip(batch, outcomes):
             if ok:

@@ -43,6 +43,11 @@ class ShuffleManager:
         self._lock = threading.Lock()
         self.metrics = ShuffleMetrics()
         self.tracer = tracer
+        #: Called with a shuffle id (or ``None`` for "all shuffles") when
+        #: map outputs are released; the Context wires this to the executor
+        #: so driver-registry and worker-resident shuffle segments are
+        #: dropped with them instead of accumulating across iterations.
+        self.on_remove = None
 
     def register_shuffle(self, shuffle_id: int, num_maps: int) -> None:
         with self._lock:
@@ -125,6 +130,8 @@ class ShuffleManager:
                 del self._sizes[key]
             self._expected_maps.pop(shuffle_id, None)
             self._registered_maps.pop(shuffle_id, None)
+        if self.on_remove is not None:
+            self.on_remove(shuffle_id)
 
     def clear(self) -> None:
         with self._lock:
@@ -132,3 +139,5 @@ class ShuffleManager:
             self._sizes.clear()
             self._expected_maps.clear()
             self._registered_maps.clear()
+        if self.on_remove is not None:
+            self.on_remove(None)

@@ -79,6 +79,11 @@ class BlockManager:
         self._lock = threading.RLock()
         self.metrics = StorageMetrics()
         self.tracer = tracer
+        #: Called with an executor block-key prefix — ``("rdd", rdd_id)``,
+        #: ``("rdd", rdd_id, part)`` or ``("rdd",)`` — when cached
+        #: partitions are removed; the Context wires this to the executor
+        #: so its driver registry and the worker stores drop them too.
+        self.on_remove = None
 
     # -- store -------------------------------------------------------------
     def put(self, block: BlockId, data: list, level: StorageLevel) -> None:
@@ -157,19 +162,24 @@ class BlockManager:
             for block in [b for b in list(self._disk) if b.rdd_id == rdd_id]:
                 self._remove_disk(block)
                 removed += 1
+        if self.on_remove is not None:
+            self.on_remove(("rdd", rdd_id))
         return removed
 
     def drop_block(self, block: BlockId) -> bool:
         """Fault-injection hook: lose one cached partition."""
+        dropped = False
         with self._lock:
             if block in self._mem:
                 _, size = self._mem.pop(block)
                 self.metrics.memory_bytes -= size
-                return True
-            if block in self._disk:
+                dropped = True
+            elif block in self._disk:
                 self._remove_disk(block)
-                return True
-        return False
+                dropped = True
+        if dropped and self.on_remove is not None:
+            self.on_remove(block.ref())
+        return dropped
 
     def _remove_disk(self, block: BlockId) -> None:
         size = self._disk.pop(block)
@@ -184,6 +194,8 @@ class BlockManager:
             for block in list(self._disk):
                 self._remove_disk(block)
             self.metrics.memory_bytes = 0
+        if self.on_remove is not None:
+            self.on_remove(("rdd",))
 
     def close(self) -> None:
         self.clear()

@@ -247,7 +247,10 @@ class ContextPool:
         # Drop the finished job's cached RDD blocks now rather than at the
         # next acquire: an idle context must not pin a dataset's worth of
         # memory while it waits (renew_run clears again, as a backstop).
+        # reset_shipping covers the process backend, whose executor pins
+        # its own copies (driver block registry + worker-resident stores).
         ctx.block_manager.clear()
+        ctx.executor.reset_shipping()
         with self._lock:
             if not self._closed:
                 idle = self._idle.setdefault(key, [])

@@ -207,6 +207,76 @@ class TestStableWorkerIds:
         assert out[1::2] == ["worker-1"] * 4
 
 
+class TestBlockInvalidation:
+    """Released shuffle outputs and uncached RDDs must leave the executor's
+    driver registry and the worker stores — iterative miners call
+    clear_shuffle_outputs between passes precisely to bound driver memory,
+    so the executor must not retain each iteration's payloads."""
+
+    def test_clear_shuffle_outputs_releases_executor_blocks(self, pctx):
+        data = [(i % 4, i) for i in range(40)]
+        for _ in range(3):  # iterative-miner shape: shuffle, then release
+            got = (
+                pctx.parallelize(data, 4)
+                .reduce_by_key(lambda a, b: a + b)
+                .collect_as_map()
+            )
+            assert len(got) == 4
+            assert any(k[0] == "shuf" for k in pctx.executor._driver_blocks)
+            pctx.clear_shuffle_outputs()
+            assert not any(k[0] == "shuf" for k in pctx.executor._driver_blocks)
+            assert not any(k[0] == "shuf" for k in pctx.executor._blob_cache)
+            for handle in pctx.executor._handles:
+                assert not any(k[0] == "shuf" for k in handle.known)
+
+    def test_unpersist_releases_executor_blocks(self, pctx):
+        rdd = pctx.parallelize(range(20), 4).map(lambda x: x * 2).cache()
+        assert rdd.sum() == 380
+        assert rdd.sum() == 380  # second pass offers cached partitions by ref
+        assert any(k[0] == "rdd" for k in pctx.executor._driver_blocks)
+        rdd.unpersist()
+        assert not any(k[0] == "rdd" for k in pctx.executor._driver_blocks)
+        assert not any(k[0] == "rdd" for k in pctx.executor._blob_cache)
+        for handle in pctx.executor._handles:
+            assert not any(k[0] == "rdd" for k in handle.known)
+        assert rdd.sum() == 380  # recompute path still works after the drops
+
+    def test_invalidate_prefix_is_selective(self):
+        from repro.engine.executors import ProcessExecutor
+
+        ex = ProcessExecutor(1)
+        try:
+            ex.offer_block(("shuf", 1, 0), [1])
+            ex.offer_block(("shuf", 2, 0), [2])
+            ex.offer_block(("rdd", 1, 0), [3])
+            ex.invalidate_prefix(("shuf", 1))
+            assert set(ex._driver_blocks) == {("shuf", 2, 0), ("rdd", 1, 0)}
+            ex.invalidate_prefix(("shuf",))
+            assert set(ex._driver_blocks) == {("rdd", 1, 0)}
+        finally:
+            ex.shutdown()
+
+
+class TestStartMethod:
+    def test_spawn_when_other_threads_alive(self):
+        # Forking a multi-threaded process can deadlock the child on locks
+        # held by other threads at fork time (the repro.serve HTTP server
+        # is exactly that shape), so the pool must choose spawn.
+        import threading
+
+        release = threading.Event()
+        t = threading.Thread(target=release.wait, daemon=True)
+        t.start()
+        try:
+            with Context(backend="processes", parallelism=1) as ctx:
+                got = ctx.parallelize([1, 2, 3], 1).map(lambda x: x + 1).collect()
+                assert got == [2, 3, 4]
+                assert ctx.executor._mpctx.get_start_method() == "spawn"
+        finally:
+            release.set()
+            t.join()
+
+
 class TestServeComposition:
     def test_service_with_process_backend_and_context_reuse(self):
         from repro.core.api import mine_frequent_itemsets

@@ -151,6 +151,28 @@ class TestContextPool:
         finally:
             pool.close()
 
+    def test_release_resets_process_executor_shipping(self):
+        # The block manager is not the only thing pinning a dataset: on
+        # the processes backend the executor keeps its own driver-side
+        # payload registry and the workers keep resident stores — an idle
+        # pooled context must shed those too.
+        pool = ContextPool()
+        try:
+            ctx = pool.acquire("processes", 2)
+            bc = ctx.broadcast(list(range(500)))
+            got = ctx.parallelize(range(4), 4).map(lambda x, b=bc: b.value[x]).collect()
+            assert got == [0, 1, 2, 3]
+            assert ctx.executor._bc_payloads or ctx.executor._driver_blocks
+            pool.release(ctx)
+            assert not ctx.executor._driver_blocks
+            assert not ctx.executor._blob_cache
+            assert not ctx.executor._bc_payloads
+            assert ctx.executor.shipping_metrics.total_shipped_bytes == 0
+            for handle in ctx.executor._handles:
+                assert not handle.known
+        finally:
+            pool.close()
+
     def test_close_stops_idle_contexts(self):
         pool = ContextPool()
         ctx = pool.acquire("serial", None)

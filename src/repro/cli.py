@@ -84,6 +84,25 @@ def _write_trace(traces, path: str) -> None:
     print(f"wrote chrome://tracing JSON to {path}")
 
 
+#: Algorithms accepting the counting fast-path knobs.
+_FASTPATH_ALGORITHMS = ("yafim", "rapriori")
+
+
+def _fastpath_options(args) -> dict:
+    """Translate ``--no-fastpath``/``--no-compaction`` into miner options."""
+    options = {}
+    if getattr(args, "no_fastpath", False):
+        options.update(use_dict_encoding=False, use_in_tree_counting=False)
+    if getattr(args, "no_compaction", False):
+        options["use_compaction"] = False
+    if options and getattr(args, "algorithm", "yafim") not in _FASTPATH_ALGORITHMS:
+        raise ReproError(
+            f"--no-fastpath/--no-compaction apply to "
+            f"{'/'.join(_FASTPATH_ALGORITHMS)}, not {args.algorithm!r}"
+        )
+    return options
+
+
 def cmd_mine(args) -> int:
     from repro.core.api import MiningConfig, mine_frequent_itemsets
 
@@ -97,6 +116,7 @@ def cmd_mine(args) -> int:
             backend=args.backend,
             parallelism=args.parallelism,
             num_partitions=args.num_partitions,
+            options=_fastpath_options(args),
         ),
     )
     print(result.summary())
@@ -138,6 +158,7 @@ def cmd_compare(args) -> int:
     run = run_comparison(
         ds, args.support, num_partitions=args.parallelism or 8,
         max_length=args.max_length,
+        yafim_kwargs=_fastpath_options(args) or None,
     )
     rows = [(k, mr, ya, x) for k, mr, ya, x in run.per_pass()]
     print(format_table(["pass", "MRApriori (s)", "YAFIM (s)", "speedup"], rows))
@@ -191,6 +212,7 @@ def cmd_submit(args) -> int:
             backend=args.backend,
             parallelism=args.parallelism,
             num_partitions=args.num_partitions,
+            options=_fastpath_options(args),
         ),
         priority=args.priority,
         timeout_s=args.timeout,
@@ -237,12 +259,24 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.core.registry import algorithm_names
     from repro.engine.executors import BACKENDS
 
+    def fastpath_knobs(p):
+        p.add_argument(
+            "--no-fastpath", action="store_true",
+            help="disable dictionary encoding + in-tree counting "
+            "(YAFIM/R-Apriori counting fast path)",
+        )
+        p.add_argument(
+            "--no-compaction", action="store_true",
+            help="disable cross-pass transaction dedup/compaction",
+        )
+
     def mining_knobs(p):
         p.add_argument("--support", type=float, required=True)
         p.add_argument("--algorithm", default="yafim", choices=algorithm_names())
         p.add_argument("--max-length", type=int, default=None)
         p.add_argument("--backend", default="threads", choices=BACKENDS)
         p.add_argument("--parallelism", type=int, default=None)
+        fastpath_knobs(p)
         p.add_argument(
             "--num-partitions", type=int, default=None,
             help="partitions for the transaction RDD and shuffles",
@@ -273,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--support", type=float, required=True)
     cmp_.add_argument("--max-length", type=int, default=None)
     cmp_.add_argument("--parallelism", type=int, default=None)
+    fastpath_knobs(cmp_)
     cmp_.add_argument(
         "--trace-out", default=None, metavar="FILE",
         help="write both runs' chrome://tracing JSON here",

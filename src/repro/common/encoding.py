@@ -1,0 +1,90 @@
+"""Dictionary encoding of transactions over the frequent-item alphabet.
+
+After Phase I the only items that can ever appear in a frequent itemset
+are the frequent 1-items.  :class:`ItemDictionary` maps them to dense
+integer codes ordered by **descending support** (ties broken by the
+item's own order, so the mapping is deterministic).  Re-encoding the
+cached transaction RDD over this dictionary buys three things at once:
+
+* every later pass hashes and compares small ints — ``HashTree._hash``
+  always takes its cheap ``item % fanout`` path, never ``stable_hash``;
+* infrequent items are dropped during encoding, so transactions shrink
+  before the first candidate pass instead of carrying dead weight
+  through every scan;
+* dense codes make the frequency-ordered prefix explicit: code 0 is the
+  most frequent item, which keeps hash-tree slot sets small and compact
+  projections cheap.
+
+The dictionary is built once on the driver and shipped to workers via a
+broadcast variable (or a task closure under the broadcast ablation);
+mined itemsets are decoded back to the original items before they reach
+:class:`~repro.core.results.MiningRunResult`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.common.itemset import Itemset
+
+
+class ItemDictionary:
+    """Bidirectional item <-> dense-int-code mapping.
+
+    Parameters
+    ----------
+    items_by_rank:
+        Items in code order (code ``i`` = ``items_by_rank[i]``).  Use
+        :meth:`from_counts` to build the support-descending ordering the
+        fast path wants.
+    """
+
+    __slots__ = ("_code_of", "_item_of")
+
+    def __init__(self, items_by_rank: Sequence):
+        self._item_of: tuple = tuple(items_by_rank)
+        self._code_of: dict = {item: code for code, item in enumerate(self._item_of)}
+        if len(self._code_of) != len(self._item_of):
+            raise ValueError("duplicate items in dictionary")
+
+    @classmethod
+    def from_counts(cls, counts: Mapping) -> "ItemDictionary":
+        """Build from item -> support counts, most frequent item first.
+
+        Ties are broken by ascending item so equal-support runs still
+        encode deterministically across drivers.
+        """
+        ranked = sorted(counts, key=lambda item: (-counts[item], item))
+        return cls(ranked)
+
+    def __len__(self) -> int:
+        return len(self._item_of)
+
+    def __contains__(self, item) -> bool:
+        return item in self._code_of
+
+    def code(self, item) -> int:
+        return self._code_of[item]
+
+    def item(self, code: int):
+        return self._item_of[code]
+
+    def encode_transaction(self, transaction: Iterable) -> tuple:
+        """Sorted tuple of codes for the transaction's *frequent* items.
+
+        Infrequent items are dropped; the result is sorted ascending so
+        it remains a canonical transaction over the code alphabet
+        (ascending code = descending support).
+        """
+        code_of = self._code_of
+        return tuple(sorted(code_of[i] for i in transaction if i in code_of))
+
+    def encode_itemset(self, itemset: Iterable) -> tuple:
+        """Encode an itemset known to be fully frequent (KeyError otherwise)."""
+        code_of = self._code_of
+        return tuple(sorted(code_of[i] for i in itemset))
+
+    def decode_itemset(self, codes: Iterable[int]) -> Itemset:
+        """Back to original items, re-sorted into canonical item order."""
+        item_of = self._item_of
+        return tuple(sorted(item_of[c] for c in codes))

@@ -21,7 +21,7 @@ from repro.core.mrapriori import (
     fpc_strategy,
     spc_strategy,
 )
-from repro.core.results import IterationStats, MiningRunResult
+from repro.core.results import CompactionStats, IterationStats, MiningRunResult
 from repro.core.rules import AssociationRule, generate_rules, generate_rules_parallel, top_rules
 from repro.core.summaries import closed_itemsets, maximal_itemsets, negative_border, support_of
 from repro.core.variants import DPC, FPC, SPC
@@ -33,6 +33,7 @@ __all__ = [
     "SPC",
     "AlgorithmSpec",
     "AssociationRule",
+    "CompactionStats",
     "DistEclat",
     "HashTree",
     "IterationStats",

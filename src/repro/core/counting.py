@@ -1,0 +1,270 @@
+"""Picklable per-partition kernels for the counting fast path.
+
+Every class here is a top-level callable so the process backend can
+cloudpickle it inside a task closure.  Each kernel resolves its shipped
+state exactly once per partition — through a broadcast variable when the
+miner runs with ``use_broadcast`` (the paper's §IV-C behaviour), or a
+direct closure capture under the A1 ablation — then streams the
+partition.
+
+The fast-path kernels replace the seed's
+``flat_map(subset) -> map((cand, 1)) -> reduceByKey`` shape with a
+single ``map_partitions`` pass that aggregates into a per-partition
+dict *during* the hash-tree walk (:meth:`HashTree.count_into`), so the
+shuffle sees one ``(candidate_index, partial_count)`` record per
+distinct candidate per partition instead of one tuple per match.
+Candidate *indexes* (ints into the driver's ``apriori_gen`` order) keep
+shuffle keys small and constant-size; the driver decodes them after
+``collect_as_map``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.common.sizeof import estimate_size
+
+
+def _resolve(bc, direct):
+    """Broadcast value when shipped by broadcast, closure capture otherwise."""
+    return bc.value if bc is not None else direct
+
+
+# -- Phase I ---------------------------------------------------------------
+class Phase1PartitionCounter:
+    """``run_job`` kernel: one scan yields ``(n_transactions, item -> count)``.
+
+    Replaces the seed's two jobs (``count()`` + item-count shuffle) with a
+    single shuffle-free pass; the driver merges the per-partition
+    counters and applies the support threshold itself.
+    """
+
+    def __call__(self, _task_ctx, partition):
+        n = 0
+        counts: dict = {}
+        get = counts.get
+        for txn in partition:
+            n += 1
+            for item in txn:
+                counts[item] = get(item, 0) + 1
+        return n, counts
+
+
+def merge_counters(parts) -> tuple[int, dict]:
+    """Driver-side merge of :class:`Phase1PartitionCounter` results."""
+    total = 0
+    merged: dict = {}
+    get = merged.get
+    for n, counts in parts:
+        total += n
+        for item, c in counts.items():
+            merged[item] = get(item, 0) + c
+    return total, merged
+
+
+# -- working-set preparation ----------------------------------------------
+class TransactionEncoder:
+    """Re-encode/project a transaction partition after Phase I.
+
+    With a dictionary: items become dense int codes ordered by descending
+    support, infrequent items dropped.  Without one (compaction without
+    encoding): items are projected onto the frequent-item set, original
+    values kept.  With ``dedupe`` the partition's identical encoded
+    transactions collapse into ``(txn, multiplicity)`` pairs.
+    Transactions left with fewer than two items can never support a
+    k>=2 candidate and are dropped either way.
+    """
+
+    def __init__(self, *, dict_bc=None, dictionary=None, keep_bc=None, keep=None,
+                 dedupe: bool = False):
+        self._dict_bc = dict_bc
+        self._dictionary = dictionary
+        self._keep_bc = keep_bc
+        self._keep = keep
+        self._dedupe = dedupe
+
+    def _encoder(self):
+        dictionary = _resolve(self._dict_bc, self._dictionary)
+        if dictionary is not None:
+            return dictionary.encode_transaction
+        keep = _resolve(self._keep_bc, self._keep)
+        return lambda txn: tuple(i for i in txn if i in keep)
+
+    def __call__(self, partition):
+        encode = self._encoder()
+        if not self._dedupe:
+            for txn in partition:
+                enc = encode(txn)
+                if len(enc) >= 2:
+                    yield enc
+            return
+        counts: dict = {}
+        get = counts.get
+        for txn in partition:
+            enc = encode(txn)
+            if len(enc) >= 2:
+                counts[enc] = get(enc, 0) + 1
+        yield from counts.items()
+
+
+class TransactionCompactor:
+    """Between-pass shrink of a weighted working partition.
+
+    Projects out items that appear in no frequent k-itemset, drops
+    transactions now too short to contain a (k+1)-candidate, and re-merges
+    duplicates (projection creates new collisions) summing multiplicities.
+    """
+
+    def __init__(self, *, keep_bc=None, keep=None, min_len: int = 2):
+        self._keep_bc = keep_bc
+        self._keep = keep
+        self._min_len = min_len
+
+    def __call__(self, partition):
+        keep = _resolve(self._keep_bc, self._keep)
+        min_len = self._min_len
+        counts: dict = {}
+        get = counts.get
+        for txn, weight in partition:
+            proj = tuple(i for i in txn if i in keep)
+            if len(proj) >= min_len:
+                counts[proj] = get(proj, 0) + weight
+        yield from counts.items()
+
+
+class PartitionSummarizer:
+    """``run_job`` kernel: ``(rows, items, est_bytes, weight)`` per partition.
+
+    ``weight`` is the logical transaction count the rows represent (sum
+    of multiplicities when weighted, = rows otherwise).  Feeds
+    :class:`~repro.core.results.CompactionStats`; running it against a
+    freshly cached RDD also materializes the cache.
+    """
+
+    def __init__(self, weighted: bool):
+        self._weighted = weighted
+
+    def __call__(self, _task_ctx, partition):
+        data = list(partition)
+        if self._weighted:
+            items = sum(len(txn) for txn, _w in data)
+            weight = sum(w for _txn, w in data)
+        else:
+            items = sum(len(txn) for txn in data)
+            weight = len(data)
+        return len(data), items, estimate_size(data), weight
+
+
+# -- Phase II --------------------------------------------------------------
+class CandidateCounter:
+    """Fast-path counting kernel: ``(candidate_index, partial_count)``.
+
+    Walks the candidate structure once per transaction with
+    ``count_into`` — no match lists, no per-match pair tuples — and emits
+    one record per distinct matched candidate.  Indexes refer to the
+    matcher's construction order (= the driver's ``apriori_gen`` order),
+    so the reduced map decodes driver-side via ``candidates[index]``.
+    """
+
+    def __init__(self, *, bc=None, matcher=None, weighted: bool = False):
+        self._bc = bc
+        self._matcher = matcher
+        self._weighted = weighted
+
+    def __call__(self, partition):
+        matcher = _resolve(self._bc, self._matcher)
+        counts: dict = {}
+        count_into = matcher.count_into
+        if self._weighted:
+            for txn, weight in partition:
+                count_into(counts, txn, weight)
+        else:
+            for txn in partition:
+                count_into(counts, txn)
+        index = matcher.candidate_index()
+        for cand, n in counts.items():
+            yield index[cand], n
+
+
+class CandidateEmitter:
+    """Baseline-shape kernel: one ``(candidate, weight)`` pair per match.
+
+    Equivalent to the seed's ``flat_map(subset).map((cand, 1))`` fused
+    into one stage; used when ``use_in_tree_counting`` is off so the
+    ablation still measures the materialize-then-shuffle cost.
+    """
+
+    def __init__(self, *, bc=None, matcher=None, weighted: bool = False):
+        self._bc = bc
+        self._matcher = matcher
+        self._weighted = weighted
+
+    def __call__(self, partition):
+        matcher = _resolve(self._bc, self._matcher)
+        subset = matcher.subset
+        if self._weighted:
+            for txn, weight in partition:
+                for cand in subset(txn):
+                    yield cand, weight
+        else:
+            for txn in partition:
+                for cand in subset(txn):
+                    yield cand, 1
+
+
+# -- R-Apriori pass 2 ------------------------------------------------------
+class PairCounter:
+    """Candidate-free pair counting with a per-partition counter.
+
+    ``keep``/``keep_bc`` carry the frequent-item set when the working RDD
+    still holds raw transactions; ``None`` means the transactions were
+    already projected onto frequent items (encoding/compaction on), so no
+    per-transaction filter — and no pass-2 shipping at all — is needed.
+    """
+
+    def __init__(self, *, keep_bc=None, keep=None, filter_items: bool = True,
+                 weighted: bool = False):
+        self._keep_bc = keep_bc
+        self._keep = keep
+        self._filter = filter_items
+        self._weighted = weighted
+
+    def __call__(self, partition):
+        keep = _resolve(self._keep_bc, self._keep) if self._filter else None
+        counts: dict = {}
+        get = counts.get
+        if self._weighted:
+            for txn, weight in partition:
+                kept = [i for i in txn if i in keep] if keep is not None else txn
+                for pair in combinations(kept, 2):
+                    counts[pair] = get(pair, 0) + weight
+        else:
+            for txn in partition:
+                kept = [i for i in txn if i in keep] if keep is not None else txn
+                for pair in combinations(kept, 2):
+                    counts[pair] = get(pair, 0) + 1
+        yield from counts.items()
+
+
+class PairEmitter:
+    """Baseline-shape pair enumeration: one ``(pair, weight)`` per match."""
+
+    def __init__(self, *, keep_bc=None, keep=None, filter_items: bool = True,
+                 weighted: bool = False):
+        self._keep_bc = keep_bc
+        self._keep = keep
+        self._filter = filter_items
+        self._weighted = weighted
+
+    def __call__(self, partition):
+        keep = _resolve(self._keep_bc, self._keep) if self._filter else None
+        if self._weighted:
+            for txn, weight in partition:
+                kept = [i for i in txn if i in keep] if keep is not None else txn
+                for pair in combinations(kept, 2):
+                    yield pair, weight
+        else:
+            for txn in partition:
+                kept = [i for i in txn if i in keep] if keep is not None else txn
+                for pair in combinations(kept, 2):
+                    yield pair, 1

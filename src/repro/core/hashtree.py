@@ -54,6 +54,8 @@ class HashTree:
         self.k: int | None = None
         self.size = 0
         self._root = _Node()
+        self._order: list[Itemset] = []  # insertion order = driver's candidate order
+        self._index: dict[Itemset, int] | None = None  # lazy, built worker-side
         for cand in candidates:
             self.insert(cand)
 
@@ -79,6 +81,8 @@ class HashTree:
             node = node.children.setdefault(self._hash(candidate[depth]), _Node())
             depth += 1
         node.bucket.append(candidate)
+        self._order.append(candidate)
+        self._index = None
         self.size += 1
         if len(node.bucket) > self.max_leaf_size and depth < self.k:
             self._split(node, depth)
@@ -129,6 +133,44 @@ class HashTree:
                     if slot in slots:
                         stack.append(child)
         return out
+
+    def count_into(self, counts: dict, transaction: Sequence, weight: int = 1) -> None:
+        """Add ``weight`` to ``counts[cand]`` for every contained candidate.
+
+        Same slot-set walk as :meth:`subset`, but increments a
+        per-partition counter in place instead of materializing a match
+        list — the counting fast path allocates one dict entry per
+        *distinct* matched candidate rather than one tuple per match
+        per transaction.
+        """
+        if self.k is None or len(transaction) < self.k:
+            return
+        txn_set = frozenset(transaction)
+        slots = {self._hash(i) for i in txn_set}
+        issuperset = txn_set.issuperset
+        get = counts.get
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for cand in node.bucket:
+                    if issuperset(cand):
+                        counts[cand] = get(cand, 0) + weight
+            else:
+                for slot, child in node.children.items():
+                    if slot in slots:
+                        stack.append(child)
+
+    def candidate_index(self) -> dict[Itemset, int]:
+        """Candidate -> position in insertion order (= the driver's
+        ``apriori_gen`` order).  Built lazily and cached, so a
+        worker-resident broadcast tree pays the cost once per worker; the
+        fast-path kernel uses it to shuffle small int keys instead of
+        k-tuples.
+        """
+        if self._index is None:
+            self._index = {cand: i for i, cand in enumerate(self._order)}
+        return self._index
 
     def contains_candidate(self, candidate: Itemset) -> bool:
         node = self._root

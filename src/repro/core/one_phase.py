@@ -37,21 +37,49 @@ from repro.core.mrapriori import (  # shared text encoding + reducers
 
 class SubsetEnumerationMapper(Mapper):
     """Emits (subset, 1) for every itemset of the transaction up to
-    ``max_length`` items — the one-phase algorithm's defining step."""
+    ``max_length`` items — the one-phase algorithm's defining step.
 
-    def __init__(self, max_length: int, sep: str | None = None):
+    With ``in_mapper_combine`` (the counting fast path's per-partition
+    aggregation, on by default) subsets accumulate into one dict per map
+    task and flush pre-summed in :meth:`cleanup` — the redundant-subset
+    blow-up then allocates one dict entry per *distinct* subset instead
+    of one emitted record per occurrence (``MAP_OUTPUT_RECORDS`` drops
+    accordingly; shuffle volume is unchanged because the combiner
+    already deduplicated map output before the spill)."""
+
+    def __init__(self, max_length: int, sep: str | None = None,
+                 in_mapper_combine: bool = True):
         self._max_length = max_length
         self._sep = sep
+        self._in_mapper_combine = in_mapper_combine
+        self._counts: dict | None = None
+
+    def setup(self, config: dict) -> None:
+        self._counts = {} if self._in_mapper_combine else None
 
     def map(self, key, value, emit):
         txn = canonical_transaction(value.split(self._sep))
         if not txn:
             return
-        emit(_META_TXN_COUNT, 1)
         top = min(self._max_length, len(txn))
+        counts = self._counts
+        if counts is None:
+            emit(_META_TXN_COUNT, 1)
+            for k in range(1, top + 1):
+                for subset in combinations(txn, k):
+                    emit(subset, 1)
+            return
+        get = counts.get
+        counts[_META_TXN_COUNT] = get(_META_TXN_COUNT, 0) + 1
         for k in range(1, top + 1):
             for subset in combinations(txn, k):
-                emit(subset, 1)
+                counts[subset] = get(subset, 0) + 1
+
+    def cleanup(self, emit):
+        if self._counts:
+            for key, count in self._counts.items():
+                emit(key, count)
+        self._counts = None
 
 
 class OnePhaseMR:
@@ -65,6 +93,10 @@ class OnePhaseMR:
         Hard cap on enumerated subset size — without one the mapper
         output is exponential in transaction length (the very problem
         the paper calls out).
+    in_mapper_combine:
+        Aggregate subsets into one dict per map task before emitting
+        (the counting fast path's per-partition treatment); ``False``
+        restores the seed's one-record-per-subset-occurrence emission.
     """
 
     algorithm_name = "one_phase_mr"
@@ -76,6 +108,7 @@ class OnePhaseMR:
         num_reducers: int = 2,
         work_dir: str = "/onephase",
         sep: str | None = None,
+        in_mapper_combine: bool = True,
     ):
         if max_length < 1:
             raise MiningError("max_length must be >= 1")
@@ -84,6 +117,7 @@ class OnePhaseMR:
         self.num_reducers = num_reducers
         self.work_dir = work_dir.rstrip("/")
         self.sep = sep
+        self.in_mapper_combine = in_mapper_combine
         self._seq = 0
 
     def run(self, input_path: str, min_support: float) -> MiningRunResult:
@@ -92,11 +126,12 @@ class OnePhaseMR:
         self._seq += 1
         t0 = time.perf_counter()
         cap = self.max_length
+        combine = self.in_mapper_combine
         job = JobSpec(
             name="one-phase-fim",
             input_paths=[input_path],
             output_path=f"{self.work_dir}/run{self._seq}",
-            mapper_factory=lambda: SubsetEnumerationMapper(cap, self.sep),
+            mapper_factory=lambda: SubsetEnumerationMapper(cap, self.sep, combine),
             reducer_factory=SumReducer,
             combiner_factory=SumCombiner,
             num_reducers=self.num_reducers,

@@ -9,18 +9,20 @@ frequent items, can emit its own pairs directly and a ``reduceByKey``
 does the rest.  The candidate structure only pays for itself from pass 3
 onward, where the prune step eliminates real work.
 
-This module subclasses :class:`~repro.core.yafim.Yafim` and swaps in the
-candidate-free second pass; every later pass is inherited unchanged.  The
-ablation benchmark quantifies the pass-2 saving on the sparse dataset
-family where m (and hence C(m, 2)) is large.
+This module subclasses :class:`~repro.core.yafim.Yafim` and overrides
+only the pass-2 counting strategy (:meth:`Yafim._level_pass`); Phase I,
+the level loop, the counting fast path and the compaction machinery are
+all inherited.  When the fast path is on, the working RDD is already
+projected onto frequent items, so pass 2 ships *nothing* — not even the
+frequent-item set — and the pair kernels aggregate per partition like
+every other pass.  The ablation benchmark quantifies the pass-2 saving
+on the sparse dataset family where m (and hence C(m, 2)) is large.
 """
 
 from __future__ import annotations
 
-import time
-from itertools import combinations
-
-from repro.core.results import MiningRunResult
+from repro.common.sizeof import estimate_size
+from repro.core.counting import PairCounter, PairEmitter
 from repro.core.yafim import Yafim
 
 
@@ -29,157 +31,40 @@ class RApriori(Yafim):
 
     All constructor knobs are inherited; ``use_hash_tree``/``use_broadcast``
     now apply only from pass 3 onward (pass 2 ships the frequent-item
-    *set*, not a candidate structure).
+    *set* at most, never a candidate structure).
     """
 
     algorithm_name = "rapriori"
 
-    def run_rdd(self, transactions, min_support, max_length=None) -> MiningRunResult:
-        # Phase I + the standard level-wise loop both come from Yafim; we
-        # interpose by running passes 1-2 ourselves and handing the rest
-        # to the parent implementation through its public pieces.
-        result = self._run_with_pair_pass(transactions, min_support, max_length)
-        result.algorithm = self.algorithm_name
-        return result
-
-    # -- implementation ---------------------------------------------------
-    def _run_with_pair_pass(self, transactions, min_support, max_length):
-        from repro.common.errors import MiningError
-        from repro.common.itemset import min_support_count
-        from repro.core.candidates import apriori_gen
-
-        if not 0.0 < min_support <= 1.0:
-            raise MiningError(f"min_support must be in (0, 1], got {min_support}")
-        result = MiningRunResult(
-            algorithm=self.algorithm_name, min_support=min_support, n_transactions=0
+    def _level_pass(self, k, enc_level, working, weighted, threshold):
+        if k != 2:
+            return super()._level_pass(k, enc_level, working, weighted, threshold)
+        # ---- pass 2: candidate-free pair counting ------------------------
+        m = len(enc_level)
+        # Encoding/compaction already projected transactions onto frequent
+        # items; only the raw-RDD path still needs the frequent-item set.
+        projected = self.use_dict_encoding or self.use_compaction
+        keep = bc = None
+        bc_bytes = closure_bytes = 0
+        if not projected:
+            keep = frozenset(item for (item,) in enc_level)
+            if self.use_broadcast:
+                bc = self.ctx.broadcast(keep)
+                bc_bytes = bc.size_bytes
+            else:
+                closure_bytes = estimate_size(keep) * working.num_partitions
+        kernel_cls = PairCounter if self.use_in_tree_counting else PairEmitter
+        kernel = kernel_cls(
+            keep_bc=bc,
+            keep=keep if bc is None else None,
+            filter_items=not projected,
+            weighted=weighted,
         )
-        if self.cache_transactions:
-            transactions = transactions.cache()
-
-        # ---- pass 1 (identical to YAFIM Phase I) -------------------------
-        t0 = time.perf_counter()
-        mark = self.ctx.event_log.mark()
-        n = transactions.count()
-        if n == 0:
-            raise MiningError("cannot mine an empty transaction database")
-        threshold = min_support_count(min_support, n)
-        level = (
-            transactions.flat_map(lambda t: t)
-            .map(lambda item: (item, 1))
-            .reduce_by_key(lambda a, b: a + b, self.num_partitions)
-            .filter(lambda kv: kv[1] >= threshold)
-            .map(lambda kv: ((kv[0],), kv[1]))
-            .collect_as_map()
-        )
-        result.n_transactions = n
-        result.itemsets.update(level)
-        result.iterations.append(
-            self._iteration_stats(1, time.perf_counter() - t0, -1, len(level), mark, 0)
-        )
-        if self.clear_shuffles:
-            self.ctx.clear_shuffle_outputs()
-        if not level or (max_length is not None and max_length < 2):
-            return result
-
-        # ---- pass 2: R-Apriori's candidate-free pair counting ------------
-        t0 = time.perf_counter()
-        mark = self.ctx.event_log.mark()
-        frequent_items = frozenset(item for (item,) in level)
-        bc = self.ctx.broadcast(frequent_items) if self.use_broadcast else None
-        bc_bytes = bc.size_bytes if bc is not None else 0
-        emit_pairs = _PairEmitter(bc, frequent_items if bc is None else None)
-
         pairs = (
-            transactions.map_partitions(emit_pairs)
-            .map(lambda pair: (pair, 1))
+            working.map_partitions(kernel)
             .reduce_by_key(lambda a, b: a + b, self.num_partitions)
             .filter(lambda kv: kv[1] >= threshold)
             .collect_as_map()
         )
-        result.itemsets.update(pairs)
-        m = len(frequent_items)
-        result.iterations.append(
-            self._iteration_stats(
-                2,
-                time.perf_counter() - t0,
-                # what YAFIM *would* have materialised; R-Apriori builds none
-                n_candidates=m * (m - 1) // 2,
-                n_frequent=len(pairs),
-                mark=mark,
-                broadcast_bytes=bc_bytes,
-            )
-        )
-        if bc is not None:
-            bc.destroy()
-        if self.clear_shuffles:
-            self.ctx.clear_shuffle_outputs()
-
-        # ---- passes >= 3: inherited YAFIM behaviour ------------------------
-        level = pairs
-        k = 3
-        while level and (max_length is None or k <= max_length):
-            t0 = time.perf_counter()
-            mark = self.ctx.event_log.mark()
-            candidates = apriori_gen(level.keys())
-            if not candidates:
-                break
-            matcher = self._build_matcher(candidates)
-            bc = self.ctx.broadcast(matcher) if self.use_broadcast else None
-            bc_bytes = bc.size_bytes if bc is not None else 0
-            find = (
-                _InheritedBroadcastFinder(bc)
-                if bc is not None
-                else _InheritedClosureFinder(matcher)
-            )
-            level = (
-                transactions.map_partitions(find)
-                .map(lambda cand: (cand, 1))
-                .reduce_by_key(lambda a, b: a + b, self.num_partitions)
-                .filter(lambda kv: kv[1] >= threshold)
-                .collect_as_map()
-            )
-            result.itemsets.update(level)
-            result.iterations.append(
-                self._iteration_stats(
-                    k, time.perf_counter() - t0, len(candidates), len(level), mark, bc_bytes
-                )
-            )
-            if bc is not None:
-                bc.destroy()
-            if self.clear_shuffles:
-                self.ctx.clear_shuffle_outputs()
-            k += 1
-        return result
-
-
-class _PairEmitter:
-    """Per-partition pair enumeration over frequent items only."""
-
-    def __init__(self, bc, direct: frozenset | None):
-        self._bc = bc
-        self._direct = direct
-
-    def __call__(self, transactions):
-        frequent = self._bc.value if self._bc is not None else self._direct
-        for txn in transactions:
-            kept = [i for i in txn if i in frequent]
-            yield from combinations(kept, 2)
-
-
-class _InheritedBroadcastFinder:
-    def __init__(self, bc):
-        self._bc = bc
-
-    def __call__(self, transactions):
-        matcher = self._bc.value
-        for txn in transactions:
-            yield from matcher.subset(txn)
-
-
-class _InheritedClosureFinder:
-    def __init__(self, matcher):
-        self._matcher = matcher
-
-    def __call__(self, transactions):
-        for txn in transactions:
-            yield from self._matcher.subset(txn)
+        # report what YAFIM *would* have materialised; R-Apriori builds none
+        return pairs, m * (m - 1) // 2, bc, bc_bytes, closure_bytes

@@ -203,6 +203,13 @@ def _run_yafim(ctx, txns, config: MiningConfig) -> MiningRunResult:
     return miner.run(txns, config.min_support, max_length=config.max_length)
 
 
+def _run_rapriori(ctx, txns, config: MiningConfig) -> MiningRunResult:
+    from repro.core.rapriori import RApriori
+
+    miner = RApriori(ctx, num_partitions=config.num_partitions, **config.options)
+    return miner.run(txns, config.min_support, max_length=config.max_length)
+
+
 def _run_dist_eclat(ctx, txns, config: MiningConfig) -> MiningRunResult:
     from repro.core.dist_eclat import DistEclat
 
@@ -279,6 +286,10 @@ def _register_builtins() -> None:
     register_algorithm(
         "yafim", _run_yafim, needs_engine=True,
         description="paper's algorithm on the RDD engine (default)",
+    )
+    register_algorithm(
+        "rapriori", _run_rapriori, needs_engine=True,
+        description="YAFIM with R-Apriori's candidate-free second pass",
     )
     register_algorithm(
         "dist_eclat", _run_dist_eclat, needs_engine=True,

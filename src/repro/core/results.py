@@ -14,6 +14,39 @@ from repro.common.itemset import Itemset
 
 
 @dataclass
+class CompactionStats:
+    """Working-set shrink measured around one encode/compact step.
+
+    ``kind`` is ``"encode"`` for the post-Phase-I dictionary
+    encode/dedupe and ``"compact"`` for a between-pass projection.
+    ``txns`` counts *physical* rows (deduplicated when weighted);
+    ``weight`` is the logical transaction count those rows represent.
+    Byte figures use the engine's :func:`~repro.common.sizeof.estimate_size`
+    — the same estimator the block manager budgets with.
+    """
+
+    kind: str
+    seconds: float = 0.0
+    txns_before: int = 0
+    txns_after: int = 0
+    items_before: int = 0
+    items_after: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+    weight_after: int = 0
+    dict_items: int = 0  # dictionary alphabet size (encode rounds only)
+    dict_broadcast_bytes: int = 0  # dictionary shipping cost (not pass-1 bytes)
+
+    @property
+    def txns_dropped(self) -> int:
+        return self.txns_before - self.txns_after
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.bytes_before - self.bytes_after
+
+
+@dataclass
 class IterationStats:
     """Measured facts about one Apriori level (pass k)."""
 
@@ -32,6 +65,10 @@ class IterationStats:
     cache_hit_rate: float = 0.0  # block-manager hits / (hits + misses); 0.0 when uncached
     straggler_ratio: float = 0.0  # max task duration / mean task duration (>= 1.0)
     shipped_bytes: int = 0  # bytes physically serialized driver->workers this pass
+    # counting fast-path observability
+    shuffle_records: int = 0  # records written to shuffle buckets (post map-side combine)
+    counting_records: int = 0  # records entering the shuffle-map combine ("allocated pairs")
+    compaction: CompactionStats | None = None  # working-set shrink applied after this pass
 
 
 def engine_iteration_stats(
@@ -90,6 +127,10 @@ def engine_iteration_stats(
         cache_hit_rate=hits / (hits + misses) if (hits + misses) else 0.0,
         straggler_ratio=max(durations) / mean if durations and mean > 0 else 0.0,
         shipped_bytes=shipped_bytes,
+        shuffle_records=sum(t.records_out for t in tasks if t.kind == "shuffle_map"),
+        counting_records=sum(
+            t.combine_records_in for t in tasks if t.kind == "shuffle_map"
+        ),
     )
 
 

@@ -17,9 +17,32 @@ Phase II (Algorithm 3, Fig. 2), for k = 2, 3, ... until L_k is empty::
                        .filter(count >= minsup)
 
 The transaction RDD is loaded once and cached (§IV-B); every iteration
-re-scans it from cluster memory.  Three design choices are independently
-switchable for the ablation benchmarks: ``use_hash_tree``,
-``use_broadcast`` and ``cache_transactions``.
+re-scans it from cluster memory.  Three of the paper's design choices are
+independently switchable for the ablation benchmarks: ``use_hash_tree``
+(A3), ``use_broadcast`` (A1) and ``cache_transactions`` (A2).
+
+On top of the paper's structure sits the **counting fast path** — three
+further independent knobs, all default-on:
+
+``use_dict_encoding``
+    After Phase I the transactions are re-encoded over a broadcast
+    item -> dense-int dictionary ordered by descending support
+    (:class:`~repro.common.encoding.ItemDictionary`), dropping
+    infrequent items.  Every later pass hashes small ints.
+``use_in_tree_counting``
+    Phase I becomes one shuffle-free ``run_job`` whose per-partition
+    counters merge on the driver; Phase II replaces
+    ``flat_map(subset).map((cand, 1))`` with a ``map_partitions`` kernel
+    that aggregates during the hash-tree walk and ships one
+    ``(candidate_index, partial_count)`` int-keyed record per distinct
+    candidate per partition (:mod:`repro.core.counting`).
+``use_compaction``
+    Identical encoded transactions dedupe into ``(txn, multiplicity)``
+    once after encoding; between passes the working RDD drops
+    transactions shorter than k+1 and projects out items in no frequent
+    k-itemset, re-caching the shrunk RDD and unpersisting the old one.
+    Every shrink is measured as a
+    :class:`~repro.core.results.CompactionStats` on the pass it follows.
 """
 
 from __future__ import annotations
@@ -27,11 +50,27 @@ from __future__ import annotations
 import time
 from collections.abc import Iterable, Sequence
 
+from repro.common.encoding import ItemDictionary
 from repro.common.errors import MiningError
-from repro.common.itemset import canonical_transaction, contains, min_support_count
+from repro.common.itemset import canonical_transaction, min_support_count
+from repro.common.sizeof import estimate_size
 from repro.core.candidates import apriori_gen
+from repro.core.counting import (
+    CandidateCounter,
+    CandidateEmitter,
+    PartitionSummarizer,
+    Phase1PartitionCounter,
+    TransactionCompactor,
+    TransactionEncoder,
+    merge_counters,
+)
 from repro.core.hashtree import HashTree
-from repro.core.results import IterationStats, MiningRunResult, engine_iteration_stats
+from repro.core.results import (
+    CompactionStats,
+    IterationStats,
+    MiningRunResult,
+    engine_iteration_stats,
+)
 from repro.engine.context import Context
 from repro.engine.rdd import RDD
 from repro.engine.tracing import collect_engine_metrics
@@ -62,10 +101,16 @@ class Yafim:
         ``False`` captures them in every task closure (ablation A1).
     cache_transactions:
         Cache the transaction RDD in memory (paper behaviour).  ``False``
-        recomputes/re-reads it every iteration (ablation A2).
+        recomputes/re-reads it every iteration (ablation A2); the fast
+        path's encoded/compacted RDDs are then never cached either.
     hash_tree_fanout / hash_tree_leaf_size:
         Hash-tree shape knobs.
+    use_dict_encoding / use_in_tree_counting / use_compaction:
+        Counting fast-path knobs (see module docstring); independent and
+        default-on, so every ablation pair still isolates one variable.
     """
+
+    algorithm_name = "yafim"
 
     def __init__(
         self,
@@ -77,6 +122,9 @@ class Yafim:
         hash_tree_fanout: int = 64,
         hash_tree_leaf_size: int = 16,
         clear_shuffles_between_iterations: bool = True,
+        use_dict_encoding: bool = True,
+        use_in_tree_counting: bool = True,
+        use_compaction: bool = True,
     ):
         self.ctx = ctx
         self.num_partitions = num_partitions or ctx.default_parallelism
@@ -86,6 +134,9 @@ class Yafim:
         self.hash_tree_fanout = hash_tree_fanout
         self.hash_tree_leaf_size = hash_tree_leaf_size
         self.clear_shuffles = clear_shuffles_between_iterations
+        self.use_dict_encoding = use_dict_encoding
+        self.use_in_tree_counting = use_in_tree_counting
+        self.use_compaction = use_compaction
 
     # -- public entry points -------------------------------------------------
     def run(
@@ -124,7 +175,9 @@ class Yafim:
     ) -> MiningRunResult:
         if not 0.0 < min_support <= 1.0:
             raise MiningError(f"min_support must be in (0, 1], got {min_support}")
-        result = MiningRunResult(algorithm="yafim", min_support=min_support, n_transactions=0)
+        result = MiningRunResult(
+            algorithm=self.algorithm_name, min_support=min_support, n_transactions=0
+        )
 
         if self.cache_transactions:
             transactions = transactions.cache()
@@ -133,18 +186,8 @@ class Yafim:
         t0 = time.perf_counter()
         mark = self.ctx.event_log.mark()
         ship_mark = self.ctx.executor.shipped_bytes_total()
-        n = transactions.count()  # materializes the cache
-        if n == 0:
-            raise MiningError("cannot mine an empty transaction database")
-        threshold = min_support_count(min_support, n)
-        level = (
-            transactions.flat_map(lambda t: t)
-            .map(lambda item: (item, 1))
-            .reduce_by_key(lambda a, b: a + b, self.num_partitions)
-            .filter(lambda kv: kv[1] >= threshold)
-            .map(lambda kv: ((kv[0],), kv[1]))
-            .collect_as_map()
-        )
+        n, item_level, threshold = self._phase_one(transactions, min_support)
+        level = {(item,): c for item, c in item_level.items()}
         result.n_transactions = n
         result.iterations.append(
             self._iteration_stats(
@@ -162,49 +205,72 @@ class Yafim:
             self.ctx.clear_shuffle_outputs()
 
         # ---- Phase II: iterate k-frequent -> (k+1)-frequent ---------------
+        if level and (max_length is None or max_length >= 2):
+            self._run_phase_two(
+                transactions, level, item_level, threshold, max_length, result
+            )
+        result.trace = self.ctx.tracer
+        result.engine_metrics = collect_engine_metrics(self.ctx)
+        self._fold_compaction_metrics(result)
+        return result
+
+    def _phase_one(self, transactions: RDD, min_support: float):
+        """Count 1-items; returns ``(n_transactions, item -> count, threshold)``."""
+        if self.use_in_tree_counting:
+            # Fast path: one shuffle-free job returns each partition's
+            # (row count, item counter); the driver merges and thresholds.
+            parts = self.ctx.run_job(transactions, Phase1PartitionCounter())
+            n, counts = merge_counters(parts)
+            if n == 0:
+                raise MiningError("cannot mine an empty transaction database")
+            threshold = min_support_count(min_support, n)
+            return n, {i: c for i, c in counts.items() if c >= threshold}, threshold
+        n = transactions.count()  # materializes the cache
+        if n == 0:
+            raise MiningError("cannot mine an empty transaction database")
+        threshold = min_support_count(min_support, n)
+        item_level = (
+            transactions.flat_map(lambda t: t)
+            .map(lambda item: (item, 1))
+            .reduce_by_key(lambda a, b: a + b, self.num_partitions)
+            .filter(lambda kv: kv[1] >= threshold)
+            .collect_as_map()
+        )
+        return n, item_level, threshold
+
+    def _run_phase_two(
+        self, transactions, level, item_level, threshold, max_length, result
+    ) -> None:
+        run_bcs: list = []  # broadcasts that must outlive working-RDD recomputes
+        working, weighted, dictionary, last_summary = self._prepare_working(
+            transactions, item_level, result, run_bcs
+        )
+        enc_level = (
+            {dictionary.encode_itemset(i): c for i, c in level.items()}
+            if dictionary is not None
+            else level
+        )
         k = 2
-        while level and (max_length is None or k <= max_length):
+        while enc_level and (max_length is None or k <= max_length):
             t0 = time.perf_counter()
             mark = self.ctx.event_log.mark()
             ship_mark = self.ctx.executor.shipped_bytes_total()
-            with self.ctx.tracer.span(f"apriori_gen k={k}", "driver", n_seed=len(level)):
-                candidates = apriori_gen(level.keys())
-            if not candidates:
+            passed = self._level_pass(k, enc_level, working, weighted, threshold)
+            if passed is None:
                 break
-            with self.ctx.tracer.span(
-                f"hash_tree_build k={k}", "driver",
-                n_candidates=len(candidates), hash_tree=self.use_hash_tree,
-            ):
-                matcher = self._build_matcher(candidates)
-            bc = self.ctx.broadcast(matcher) if self.use_broadcast else None
-            bc_bytes = bc.size_bytes if bc is not None else 0
-            closure_bytes = 0
-
-            if bc is not None:
-                find = _BroadcastSubsetFinder(bc)
+            enc_level, n_candidates, bc, bc_bytes, closure_bytes = passed
+            if dictionary is not None:
+                result.itemsets.update(
+                    {dictionary.decode_itemset(c): n for c, n in enc_level.items()}
+                )
             else:
-                find = _ClosureSubsetFinder(matcher)
-                # Spark's default behaviour ships the closure (candidates
-                # included) with EVERY task — charge it per map task so the
-                # broadcast ablation can quantify the saving (§IV-C).
-                from repro.common.sizeof import estimate_size
-
-                closure_bytes = estimate_size(matcher) * transactions.num_partitions
-
-            level = (
-                transactions.map_partitions(find)
-                .map(lambda cand: (cand, 1))
-                .reduce_by_key(lambda a, b: a + b, self.num_partitions)
-                .filter(lambda kv: kv[1] >= threshold)
-                .collect_as_map()
-            )
-            result.itemsets.update(level)
+                result.itemsets.update(enc_level)
             result.iterations.append(
                 self._iteration_stats(
                     k=k,
                     seconds=time.perf_counter() - t0,
-                    n_candidates=len(candidates),
-                    n_frequent=len(level),
+                    n_candidates=n_candidates,
+                    n_frequent=len(enc_level),
                     mark=mark,
                     broadcast_bytes=bc_bytes,
                     closure_bytes=closure_bytes,
@@ -215,10 +281,169 @@ class Yafim:
                 bc.destroy()
             if self.clear_shuffles:
                 self.ctx.clear_shuffle_outputs()
+            if (
+                self.use_compaction
+                and enc_level
+                and (max_length is None or k + 1 <= max_length)
+            ):
+                working, last_summary = self._compact_between(
+                    working, enc_level, k, last_summary, result, run_bcs
+                )
             k += 1
-        result.trace = self.ctx.tracer
-        result.engine_metrics = collect_engine_metrics(self.ctx)
-        return result
+        for bc in run_bcs:
+            bc.destroy()
+
+    def _level_pass(self, k, enc_level, working, weighted, threshold):
+        """Count one candidate level against the working RDD.
+
+        Returns ``(L_k, n_candidates, bc, bc_bytes, closure_bytes)`` or
+        ``None`` when ``apriori_gen`` produced no candidates.  Subclasses
+        override this to swap a pass's counting strategy (R-Apriori's
+        candidate-free pass 2).
+        """
+        with self.ctx.tracer.span(f"apriori_gen k={k}", "driver", n_seed=len(enc_level)):
+            candidates = apriori_gen(enc_level.keys())
+        if not candidates:
+            return None
+        with self.ctx.tracer.span(
+            f"hash_tree_build k={k}", "driver",
+            n_candidates=len(candidates), hash_tree=self.use_hash_tree,
+        ):
+            matcher = self._build_matcher(candidates)
+        bc = self.ctx.broadcast(matcher) if self.use_broadcast else None
+        bc_bytes = bc.size_bytes if bc is not None else 0
+        closure_bytes = 0
+        if bc is None:
+            # Spark's default behaviour ships the closure (candidates
+            # included) with EVERY task — charge it per map task so the
+            # broadcast ablation can quantify the saving (§IV-C).
+            closure_bytes = estimate_size(matcher) * working.num_partitions
+        direct = None if bc is not None else matcher
+        if self.use_in_tree_counting:
+            kernel = CandidateCounter(bc=bc, matcher=direct, weighted=weighted)
+            counted = (
+                working.map_partitions(kernel)
+                .reduce_by_key(lambda a, b: a + b, self.num_partitions)
+                .filter(lambda kv: kv[1] >= threshold)
+                .collect_as_map()
+            )
+            new_level = {candidates[i]: c for i, c in counted.items()}
+        else:
+            kernel = CandidateEmitter(bc=bc, matcher=direct, weighted=weighted)
+            new_level = (
+                working.map_partitions(kernel)
+                .reduce_by_key(lambda a, b: a + b, self.num_partitions)
+                .filter(lambda kv: kv[1] >= threshold)
+                .collect_as_map()
+            )
+        return new_level, len(candidates), bc, bc_bytes, closure_bytes
+
+    # -- working-set management ------------------------------------------------
+    def _prepare_working(self, transactions, item_level, result, run_bcs):
+        """Encode/project/dedupe the transaction RDD after Phase I.
+
+        Returns ``(working_rdd, weighted, dictionary, after_summary)``.
+        With both fast-path knobs off this is the identity — the paper's
+        raw cached RDD flows straight into Phase II.
+        """
+        if not (self.use_dict_encoding or self.use_compaction):
+            return transactions, False, None, None
+        t0 = time.perf_counter()
+        dictionary = keep = None
+        ship_bc = None
+        if self.use_dict_encoding:
+            dictionary = ItemDictionary.from_counts(item_level)
+            payload = dictionary
+        else:
+            keep = frozenset(item_level)
+            payload = keep
+        if self.use_broadcast:
+            ship_bc = self.ctx.broadcast(payload)
+            run_bcs.append(ship_bc)
+        before = self._summarize(transactions, weighted=False)
+        kernel = TransactionEncoder(
+            dict_bc=ship_bc if dictionary is not None else None,
+            dictionary=dictionary if ship_bc is None else None,
+            keep_bc=ship_bc if dictionary is None else None,
+            keep=keep if ship_bc is None else None,
+            dedupe=self.use_compaction,
+        )
+        working = transactions.map_partitions(kernel)
+        if self.cache_transactions:
+            working = working.cache()
+        after = self._summarize(working, weighted=self.use_compaction)
+        stats = CompactionStats(
+            kind="encode",
+            seconds=time.perf_counter() - t0,
+            txns_before=before[0], txns_after=after[0],
+            items_before=before[1], items_after=after[1],
+            bytes_before=before[2], bytes_after=after[2],
+            weight_after=after[3],
+            dict_items=len(dictionary) if dictionary is not None else 0,
+            dict_broadcast_bytes=ship_bc.size_bytes if ship_bc is not None else 0,
+        )
+        result.iterations[-1].compaction = stats
+        self._record_compaction_span(stats, t0, label="encode k=1")
+        if self.cache_transactions:
+            transactions.unpersist()  # superseded by the encoded working set
+        return working, self.use_compaction, dictionary, after
+
+    def _compact_between(self, working, enc_level, k, last_summary, result, run_bcs):
+        """Shrink the weighted working RDD after pass k (fast path only)."""
+        t0 = time.perf_counter()
+        keep = frozenset(item for itemset in enc_level for item in itemset)
+        keep_bc = None
+        if self.use_broadcast:
+            keep_bc = self.ctx.broadcast(keep)
+            run_bcs.append(keep_bc)
+        kernel = TransactionCompactor(
+            keep_bc=keep_bc, keep=keep if keep_bc is None else None, min_len=k + 1
+        )
+        shrunk = working.map_partitions(kernel)
+        if self.cache_transactions:
+            shrunk = shrunk.cache()
+        after = self._summarize(shrunk, weighted=True)
+        before = last_summary or (0, 0, 0, 0)
+        stats = CompactionStats(
+            kind="compact",
+            seconds=time.perf_counter() - t0,
+            txns_before=before[0], txns_after=after[0],
+            items_before=before[1], items_after=after[1],
+            bytes_before=before[2], bytes_after=after[2],
+            weight_after=after[3],
+        )
+        result.iterations[-1].compaction = stats
+        self._record_compaction_span(stats, t0, label=f"compact k={k}")
+        if self.cache_transactions:
+            working.unpersist()
+        return shrunk, after
+
+    def _summarize(self, rdd, weighted: bool):
+        """(rows, items, est_bytes, weight) for an RDD; materializes caches."""
+        parts = self.ctx.run_job(rdd, PartitionSummarizer(weighted))
+        return (
+            sum(p[0] for p in parts),
+            sum(p[1] for p in parts),
+            sum(p[2] for p in parts),
+            sum(p[3] for p in parts),
+        )
+
+    def _record_compaction_span(self, stats: CompactionStats, t0: float, label: str):
+        self.ctx.tracer.add_span(
+            label, "compaction", t0, stats.seconds,
+            txns_before=stats.txns_before, txns_after=stats.txns_after,
+            items_before=stats.items_before, items_after=stats.items_after,
+            bytes_before=stats.bytes_before, bytes_after=stats.bytes_after,
+        )
+
+    def _fold_compaction_metrics(self, result) -> None:
+        metrics = result.engine_metrics
+        if metrics is None:
+            return
+        rounds = [it.compaction for it in result.iterations if it.compaction is not None]
+        metrics.compaction_rounds = len(rounds)
+        metrics.compaction_txns_dropped = sum(c.txns_dropped for c in rounds)
+        metrics.compaction_bytes_saved = sum(c.bytes_saved for c in rounds)
 
     # -- helpers ---------------------------------------------------------------
     def _build_matcher(self, candidates: list):
@@ -249,49 +474,41 @@ class Yafim:
 
 
 class _LinearMatcher:
-    """Flat candidate list with the same ``subset`` interface as HashTree.
+    """Flat candidate list with the same query interface as HashTree.
 
-    Used by ablation A3 to quantify the hash tree's benefit.
+    Used by ablation A3 to quantify the hash tree's benefit.  Candidate
+    frozensets are precomputed once at construction so the ablation
+    measures tree-vs-list walk cost, not per-transaction tuple
+    conversion overhead.
     """
 
     def __init__(self, candidates: list):
         self.candidates = list(candidates)
+        self._sets = [frozenset(c) for c in self.candidates]
+        self._k = len(self.candidates[0]) if self.candidates else 0
+        self._index: dict | None = None
 
     def subset(self, transaction) -> list:
-        txn = tuple(transaction)
-        return [c for c in self.candidates if contains(txn, c)]
+        if len(transaction) < self._k:
+            return []
+        txn_set = frozenset(transaction)
+        issuperset = txn_set.issuperset
+        return [c for c, s in zip(self.candidates, self._sets) if issuperset(s)]
+
+    def count_into(self, counts: dict, transaction, weight: int = 1) -> None:
+        if len(transaction) < self._k:
+            return
+        txn_set = frozenset(transaction)
+        issuperset = txn_set.issuperset
+        get = counts.get
+        for c, s in zip(self.candidates, self._sets):
+            if issuperset(s):
+                counts[c] = get(c, 0) + weight
+
+    def candidate_index(self) -> dict:
+        if self._index is None:
+            self._index = {c: i for i, c in enumerate(self.candidates)}
+        return self._index
 
     def __len__(self) -> int:
         return len(self.candidates)
-
-
-class _BroadcastSubsetFinder:
-    """Per-partition candidate matcher resolving a broadcast variable.
-
-    The broadcast value is resolved once per partition (as Spark
-    deserializes a broadcast once per task), then applied to every
-    transaction in the partition.
-    """
-
-    def __init__(self, bc):
-        self._bc = bc
-
-    def __call__(self, transactions):
-        matcher = self._bc.value
-        for txn in transactions:
-            yield from matcher.subset(txn)
-
-
-class _ClosureSubsetFinder:
-    """Per-partition matcher carried directly in the task closure.
-
-    Mimics Spark's default task-closure shipping: the cluster replay
-    charges the candidate bytes once per *task* instead of once per node.
-    """
-
-    def __init__(self, matcher):
-        self._matcher = matcher
-
-    def __call__(self, transactions):
-        for txn in transactions:
-            yield from self._matcher.subset(txn)

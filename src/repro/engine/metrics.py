@@ -24,6 +24,10 @@ class TaskMetrics:
     duration_s: float = 0.0
     records_in: int = 0
     records_out: int = 0
+    #: Records entering the shuffle-map bucket/combine step — the pairs the
+    #: upstream pipeline actually allocated; equals records_out when no
+    #: map-side combine runs.
+    combine_records_in: int = 0
     input_bytes: int = 0  # bytes read from the mini-DFS
     shuffle_read_bytes: int = 0
     shuffle_write_bytes: int = 0

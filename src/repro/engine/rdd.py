@@ -40,6 +40,19 @@ from repro.engine.partitioner import (
 from repro.engine.storage import BlockId, StorageLevel
 from repro.engine.task import TaskContext
 
+
+def _append_value(acc: list, v) -> list:
+    """In-place ``group_by_key`` value merge (module-level: must pickle)."""
+    acc.append(v)
+    return acc
+
+
+def _extend_list(a: list, b: list) -> list:
+    """In-place ``group_by_key`` combiner merge (module-level: must pickle)."""
+    a.extend(b)
+    return a
+
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.context import Context
 
@@ -381,10 +394,12 @@ class RDD(Generic[T]):
 
     def group_by_key(self, num_partitions: int | None = None) -> "RDD[tuple[K, list[V]]]":
         # No map-side combine: grouping map-side only moves bytes earlier.
+        # The merge functions mutate in place — `acc + [v]` would copy the
+        # accumulated list on every record, O(n^2) per key under skew.
         return self.combine_by_key(
             lambda v: [v],
-            lambda acc, v: acc + [v],
-            lambda a, b: a + b,
+            _append_value,
+            _extend_list,
             num_partitions,
             map_side_combine=False,
         )

@@ -126,6 +126,7 @@ class Task:
         assert dep is not None
         n_out = dep.partitioner.num_partitions
         records = self.rdd.iterator(self.partition, ctx)
+        n_in = 0
         if dep.map_side_combine:
             # Combine first, partition after: the partitioner then runs
             # once per distinct key instead of once per record (profiling
@@ -133,6 +134,7 @@ class Task:
             agg = dep.aggregator
             combined: dict = {}
             for k, v in records:
+                n_in += 1
                 if k in combined:
                     combined[k] = agg.merge_value(combined[k], v)
                 else:
@@ -143,7 +145,9 @@ class Task:
         else:
             buckets = [[] for _ in range(n_out)]
             for k, v in records:
+                n_in += 1
                 buckets[dep.partitioner.partition(k)].append((k, v))
+        ctx.metrics.combine_records_in += n_in
         ctx.metrics.records_out += sum(len(b) for b in buckets)
         return buckets
 

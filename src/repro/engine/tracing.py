@@ -260,6 +260,11 @@ class EngineMetrics:
     ship_dedup_hits: int = 0
     ship_ref_requests: int = 0
     worker_store_evictions: int = 0
+    # counting fast-path working-set shrink (filled by the miner from its
+    # per-pass CompactionStats; zero when the fast path is off)
+    compaction_rounds: int = 0
+    compaction_txns_dropped: int = 0
+    compaction_bytes_saved: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -291,6 +296,10 @@ class EngineMetrics:
             f"cache_hit_rate={self.cache_hit_rate:.2f} "
             f"shipped={self.total_shipped_bytes}B "
             f"ship_dedup={self.ship_dedup_hit_rate:.2f}"
+        ) + (
+            f" compaction={self.compaction_rounds}x/"
+            f"-{self.compaction_txns_dropped}txn/-{self.compaction_bytes_saved}B"
+            if self.compaction_rounds else ""
         )
 
 

@@ -29,15 +29,33 @@ def ctx():
         yield c
 
 
+#: Knobs restoring the seed's exact paper dataflow (fast path off).
+PAPER_SHAPE = dict(
+    use_dict_encoding=False, use_in_tree_counting=False, use_compaction=False
+)
+
+
 class TestPhaseStructure:
     def test_each_pass_is_one_shuffle(self, ctx):
-        miner = Yafim(ctx, num_partitions=4)
+        miner = Yafim(ctx, num_partitions=4, **PAPER_SHAPE)
         result = miner.run(TXNS, 0.3)
         # Every iteration recorded exactly 2 stages: shuffle-map + result
         for it in result.iterations:
             # pass 1 includes the count() job (1 extra result stage)
             labels = [r.label for r in it.stage_records]
             assert 2 <= len(labels) <= 3, labels
+
+    def test_fastpath_phase1_is_shuffle_free(self, ctx):
+        """The fast path merges Phase I on the driver: no shuffle at all."""
+        result = Yafim(ctx, num_partitions=4).run(TXNS, 0.3)
+        phase1 = result.iterations[0]
+        assert len(phase1.stage_records) == 1  # one run_job result stage
+        assert phase1.shuffle_bytes == 0
+        assert phase1.shuffle_records == 0
+        # later passes keep the paper's one-shuffle-per-level structure
+        for it in result.iterations[1:]:
+            labels = [r.label for r in it.stage_records]
+            assert len(labels) == 2, labels
 
     def test_phase1_lineage_shape(self, ctx, tmp_path):
         """The Fig. 1 chain compiles to exactly 2 stages."""
@@ -61,7 +79,7 @@ class TestPhaseStructure:
     def test_map_side_combine_active(self, ctx):
         """reduceByKey must pre-aggregate map-side: shuffled records per
         map task are bounded by distinct keys, not raw item occurrences."""
-        miner = Yafim(ctx, num_partitions=2)
+        miner = Yafim(ctx, num_partitions=2, **PAPER_SHAPE)
         miner.run(TXNS, 0.3)
         map_tasks = [t for t in ctx.event_log.tasks if t.kind == "shuffle_map"]
         assert map_tasks

@@ -86,6 +86,24 @@ class TestGroupByKey:
         assert sorted(got[0]) == [0, 2, 4]
         assert sorted(got[1]) == [1, 3, 5]
 
+    def test_skewed_key_groups_in_place(self, ctx):
+        """Regression: the reduce-side merge must mutate the accumulator.
+
+        ``acc + [v]`` copies the accumulated list on every record — O(n^2)
+        per key — which a hot key turns into a stall.  Pin both the merge
+        identity (same list object back) and the skewed result.
+        """
+        data = [("hot", i) for i in range(10_000)] + [("cold", -1)]
+        got = ctx.parallelize(data, 8).group_by_key().collect_as_map()
+        assert sorted(got["hot"]) == list(range(10_000))
+        assert got["cold"] == [-1]
+
+        agg = ctx.parallelize(data, 2).group_by_key().shuffle_dep.aggregator
+        acc = agg.create_combiner("x")
+        assert agg.merge_value(acc, "y") is acc
+        assert agg.merge_combiners(acc, ["z"]) is acc
+        assert acc == ["x", "y", "z"]
+
 
 class TestAggregateAndFoldByKey:
     def test_fold_by_key(self, ctx):

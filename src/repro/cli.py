@@ -116,6 +116,7 @@ def cmd_mine(args) -> int:
             backend=args.backend,
             parallelism=args.parallelism,
             num_partitions=args.num_partitions,
+            candidate_store=args.candidate_store,
             options=_fastpath_options(args),
         ),
     )
@@ -155,10 +156,16 @@ def cmd_compare(args) -> int:
 
     ds = _dataset_from_args(args)
     print(f"running YAFIM and MRApriori on {ds.name} at minsup={args.support:g} ...")
+    store_kwargs = (
+        {"candidate_store": args.candidate_store}
+        if args.candidate_store != "hashtree"
+        else {}
+    )
     run = run_comparison(
         ds, args.support, num_partitions=args.parallelism or 8,
         max_length=args.max_length,
-        yafim_kwargs=_fastpath_options(args) or None,
+        yafim_kwargs={**_fastpath_options(args), **store_kwargs} or None,
+        mr_kwargs=store_kwargs or None,
     )
     rows = [(k, mr, ya, x) for k, mr, ya, x in run.per_pass()]
     print(format_table(["pass", "MRApriori (s)", "YAFIM (s)", "speedup"], rows))
@@ -212,6 +219,7 @@ def cmd_submit(args) -> int:
             backend=args.backend,
             parallelism=args.parallelism,
             num_partitions=args.num_partitions,
+            candidate_store=args.candidate_store,
             options=_fastpath_options(args),
         ),
         priority=args.priority,
@@ -253,9 +261,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.05, help="dataset scale")
         p.add_argument("--seed", type=int, default=0)
 
-    # CLI choices derive from the registry (and the engine's BACKENDS
-    # tuple), so `register_algorithm` plugs new miners into `--algorithm`
-    # without touching this file, and a backend typo fails at parse time.
+    # CLI choices derive from the registries (algorithms, candidate
+    # stores, and the engine's BACKENDS tuple), so `register_algorithm` /
+    # `register_store` plug new names into the flags without touching
+    # this file, and a typo fails at parse time with the valid choices.
+    from repro.core.candidatestore import store_names
     from repro.core.registry import algorithm_names
     from repro.engine.executors import BACKENDS
 
@@ -268,6 +278,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--no-compaction", action="store_true",
             help="disable cross-pass transaction dedup/compaction",
+        )
+        p.add_argument(
+            "--candidate-store", default="hashtree", choices=store_names(),
+            help="candidate store for Phase-II counting "
+            "(bitmap = vertical tid-bitmap kernel)",
         )
 
     def mining_knobs(p):

@@ -2,6 +2,17 @@
 
 from repro.core.api import MiningConfig, MiningResult, mine_frequent_itemsets
 from repro.core.candidates import apriori_gen, join_step, prune_step
+from repro.core.candidatestore import (
+    BitmapStore,
+    CandidateStore,
+    FlatDictStore,
+    LinearStore,
+    TrieStore,
+    make_store,
+    register_store,
+    store_names,
+    unregister_store,
+)
 from repro.core.registry import (
     AlgorithmSpec,
     algorithm_names,
@@ -33,9 +44,14 @@ __all__ = [
     "SPC",
     "AlgorithmSpec",
     "AssociationRule",
+    "BitmapStore",
+    "CandidateStore",
     "CompactionStats",
     "DistEclat",
+    "FlatDictStore",
     "HashTree",
+    "LinearStore",
+    "TrieStore",
     "IterationStats",
     "MRApriori",
     "MiningConfig",
@@ -59,12 +75,16 @@ __all__ = [
     "generate_rules_parallel",
     "join_step",
     "load_transactions_rdd",
+    "make_store",
     "maximal_itemsets",
     "mine_frequent_itemsets",
     "mine_top_k",
     "negative_border",
     "prune_step",
+    "register_store",
     "spc_strategy",
+    "store_names",
+    "unregister_store",
     "support_of",
     "toivonen",
     "top_rules",

@@ -159,11 +159,16 @@ class PartitionSummarizer:
 class CandidateCounter:
     """Fast-path counting kernel: ``(candidate_index, partial_count)``.
 
-    Walks the candidate structure once per transaction with
-    ``count_into`` — no match lists, no per-match pair tuples — and emits
-    one record per distinct matched candidate.  Indexes refer to the
-    matcher's construction order (= the driver's ``apriori_gen`` order),
-    so the reduced map decodes driver-side via ``candidates[index]``.
+    Aggregates the whole partition into one counter — no match lists, no
+    per-match pair tuples — and emits one record per distinct matched
+    candidate.  Stores exposing ``count_partition`` (the pluggable
+    :class:`~repro.core.candidatestore.CandidateStore` batch hook, e.g.
+    ``BitmapStore``'s vertical bitmap kernel) count the materialized
+    partition in one shot; anything else (including the pre-API
+    ``HashTree``) streams per-transaction ``count_into``.  Indexes refer
+    to the matcher's construction order (= the driver's ``apriori_gen``
+    order), so the reduced map decodes driver-side via
+    ``candidates[index]``.
     """
 
     def __init__(self, *, bc=None, matcher=None, weighted: bool = False):
@@ -173,14 +178,18 @@ class CandidateCounter:
 
     def __call__(self, partition):
         matcher = _resolve(self._bc, self._matcher)
-        counts: dict = {}
-        count_into = matcher.count_into
-        if self._weighted:
-            for txn, weight in partition:
-                count_into(counts, txn, weight)
+        count_partition = getattr(matcher, "count_partition", None)
+        if count_partition is not None:
+            counts = count_partition(partition, weighted=self._weighted)
         else:
-            for txn in partition:
-                count_into(counts, txn)
+            counts = {}
+            count_into = matcher.count_into
+            if self._weighted:
+                for txn, weight in partition:
+                    count_into(counts, txn, weight)
+            else:
+                for txn in partition:
+                    count_into(counts, txn)
         index = matcher.candidate_index()
         for cand, n in counts.items():
             yield index[cand], n

@@ -9,6 +9,14 @@ Algorithm 1/3 — in time far below a linear scan of all candidates.
 
 The tree is built once per iteration on the driver and shipped to workers
 through a broadcast variable (§IV-C).
+
+``HashTree`` predates the pluggable :class:`repro.core.candidatestore`
+API but honors its **at-most-once contract**: ``count_into``/``subset``
+report each candidate at most once per transaction.  Containment checks
+run against the transaction's item *set* (duplicate transaction items
+collapse), every node is visited at most once by the slot-set walk, and
+``insert`` ignores duplicate candidates — a re-inserted candidate would
+otherwise occupy two bucket slots and silently double-count.
 """
 
 from __future__ import annotations
@@ -55,6 +63,7 @@ class HashTree:
         self.size = 0
         self._root = _Node()
         self._order: list[Itemset] = []  # insertion order = driver's candidate order
+        self._seen: set[Itemset] = set()
         self._index: dict[Itemset, int] | None = None  # lazy, built worker-side
         for cand in candidates:
             self.insert(cand)
@@ -75,6 +84,9 @@ class HashTree:
             raise ValueError(
                 f"hash tree holds {self.k}-itemsets, got length {len(candidate)}"
             )
+        if candidate in self._seen:
+            return  # duplicate insert must not double-count (store contract)
+        self._seen.add(candidate)
         node = self._root
         depth = 0
         while not node.is_leaf:

@@ -26,7 +26,7 @@ from repro.common.errors import MiningError
 from repro.common.itemset import Itemset, canonical_transaction, min_support_count
 from repro.common.sizeof import estimate_size
 from repro.core.candidates import apriori_gen, join_step, prune_step
-from repro.core.hashtree import HashTree
+from repro.core.candidatestore import get_store, make_store
 from repro.core.results import IterationStats, MiningRunResult
 from repro.mapreduce.job import JobSpec, Mapper, Reducer
 from repro.mapreduce.runner import JobMetrics, JobRunner
@@ -162,6 +162,11 @@ class MRApriori:
     use_hash_tree:
         Ship candidates as a hash tree (as the paper's baseline does via
         its hash-tree-in-DistributedCache idiom) or as a flat list.
+        Only consulted when ``candidate_store`` is unset.
+    candidate_store:
+        Name of a registered :mod:`repro.core.candidatestore` store; one
+        store per combined candidate level rides the distributed cache.
+        Overrides ``use_hash_tree`` when given.
     combine_strategy:
         SPC (default), FPC or DPC level-combining policy.
     work_dir:
@@ -178,10 +183,16 @@ class MRApriori:
         combine_strategy: CombineStrategy = spc_strategy,
         work_dir: str = "/mrapriori",
         sep: str | None = None,
+        candidate_store: str | None = None,
     ):
         self.runner = runner
         self.num_reducers = num_reducers
         self.use_hash_tree = use_hash_tree
+        if candidate_store is None:
+            candidate_store = "hashtree" if use_hash_tree else "linear"
+        else:
+            get_store(candidate_store)  # fail in the driver, not a map task
+        self.candidate_store = candidate_store
         self.combine_strategy = combine_strategy
         self.work_dir = work_dir.rstrip("/")
         self.sep = sep
@@ -240,14 +251,10 @@ class MRApriori:
             if not candidates:
                 break
             with self.runner.tracer.span(
-                f"hash_tree_build k={k}", "driver",
-                n_candidates=len(candidates), hash_tree=self.use_hash_tree,
+                f"store_build k={k}", "driver",
+                n_candidates=len(candidates), store=self.candidate_store,
             ):
-                matcher = (
-                    _MultiLevelHashTree(candidate_levels)
-                    if self.use_hash_tree
-                    else _FlatMatcher(candidates)
-                )
+                matcher = _MultiLevelStore(candidate_levels, self.candidate_store)
             cache_bytes = estimate_size(matcher)
             job = JobSpec(
                 name=f"apriori-pass{k}",
@@ -360,26 +367,20 @@ class MRApriori:
         )
 
 
-class _FlatMatcher:
-    """Flat candidate list possibly spanning several lengths."""
+class _MultiLevelStore:
+    """One candidate store per candidate length, queried in sequence.
 
-    def __init__(self, candidates: list[Itemset]):
-        self.candidates = candidates
+    Combined-counting jobs (FPC/DPC) ship candidates of several lengths
+    in one distributed-cache payload; stores hold same-length itemsets,
+    so each level gets its own store built through the pluggable
+    :func:`repro.core.candidatestore.make_store` factory.
+    """
 
-    def subset(self, txn) -> list[Itemset]:
-        from repro.common.itemset import contains
-
-        return [c for c in self.candidates if contains(txn, c)]
-
-
-class _MultiLevelHashTree:
-    """One hash tree per candidate length, queried in sequence."""
-
-    def __init__(self, candidate_levels: list[list[Itemset]]):
-        self.trees = [HashTree(lvl) for lvl in candidate_levels if lvl]
+    def __init__(self, candidate_levels: list[list[Itemset]], store: str = "hashtree"):
+        self.stores = [make_store(store, lvl) for lvl in candidate_levels if lvl]
 
     def subset(self, txn) -> list[Itemset]:
         out: list[Itemset] = []
-        for tree in self.trees:
-            out.extend(tree.subset(txn))
+        for store in self.stores:
+            out.extend(store.subset(txn))
         return out

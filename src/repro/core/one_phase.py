@@ -97,6 +97,12 @@ class OnePhaseMR:
         Aggregate subsets into one dict per map task before emitting
         (the counting fast path's per-partition treatment); ``False``
         restores the seed's one-record-per-subset-occurrence emission.
+    candidate_store:
+        Accepted and registry-validated for uniformity with the other
+        miners (the store × algorithm parity grid sweeps it), but
+        counting is unaffected: the one-phase algorithm is candidate-free
+        by definition — every transaction subset is its own candidate,
+        so there is no candidate set to store.
     """
 
     algorithm_name = "one_phase_mr"
@@ -109,9 +115,15 @@ class OnePhaseMR:
         work_dir: str = "/onephase",
         sep: str | None = None,
         in_mapper_combine: bool = True,
+        candidate_store: str | None = None,
     ):
         if max_length < 1:
             raise MiningError("max_length must be >= 1")
+        if candidate_store is not None:
+            from repro.core.candidatestore import get_store
+
+            get_store(candidate_store)  # validate the name; see class docstring
+        self.candidate_store = candidate_store
         self.runner = runner
         self.max_length = max_length
         self.num_reducers = num_reducers

@@ -26,9 +26,10 @@ Runner contracts
     ``runner(transactions, config) -> MiningRunResult``.  The runner
     owns its whole substrate (sequential oracles, MapReduce).
 
-The seven built-in algorithms (yafim, dist_eclat, pfp, mrapriori,
-apriori, eclat, fpgrowth) are registered at import time; their heavy
-imports stay inside the runner bodies so importing this module is cheap.
+The built-in algorithms (yafim, rapriori, dist_eclat, pfp, mrapriori,
+one_phase, apriori, eclat, fpgrowth) are registered at import time;
+their heavy imports stay inside the runner bodies so importing this
+module is cheap.
 """
 
 from __future__ import annotations
@@ -58,12 +59,23 @@ class MiningConfig:
     backend: str = "threads"
     parallelism: int | None = None
     num_partitions: int | None = None
+    candidate_store: str = "hashtree"
     options: dict = field(default_factory=dict)
 
     def __post_init__(self):
         if not 0.0 < self.min_support <= 1.0:
             raise MiningError(
                 f"min_support must be in (0, 1], got {self.min_support}"
+            )
+        # Mirror make_executor's named-backends pattern: an unknown store
+        # name fails at config construction with the registered choices,
+        # not deep inside a worker task.
+        from repro.core.candidatestore import store_names
+
+        if self.candidate_store not in store_names():
+            raise MiningError(
+                f"unknown candidate store {self.candidate_store!r}; "
+                f"registered stores: {', '.join(store_names())}"
             )
 
     def canonical(self) -> dict:
@@ -76,6 +88,7 @@ class MiningConfig:
             "backend": self.backend,
             "parallelism": self.parallelism,
             "num_partitions": self.num_partitions,
+            "candidate_store": self.candidate_store,
             "options": {str(k): self.options[k] for k in sorted(self.options, key=str)},
         }
 
@@ -196,24 +209,41 @@ def run_algorithm(
 # ---------------------------------------------------------------------------
 # Built-in algorithms
 # ---------------------------------------------------------------------------
+def _with_store(config: MiningConfig) -> dict:
+    """Miner options with the config's ``candidate_store`` folded in.
+
+    The default ``"hashtree"`` is *not* injected, so miners keep deriving
+    their store from legacy knobs (``use_hash_tree=False`` -> ``linear``,
+    ablation A3); an explicit ``options["candidate_store"]`` wins over
+    the field so the options path keeps working.  The oracles and PFP
+    are candidate-free and never receive the knob.
+    """
+    options = dict(config.options)
+    if config.candidate_store != "hashtree":
+        options.setdefault("candidate_store", config.candidate_store)
+    return options
+
+
 def _run_yafim(ctx, txns, config: MiningConfig) -> MiningRunResult:
     from repro.core.yafim import Yafim
 
-    miner = Yafim(ctx, num_partitions=config.num_partitions, **config.options)
+    miner = Yafim(ctx, num_partitions=config.num_partitions, **_with_store(config))
     return miner.run(txns, config.min_support, max_length=config.max_length)
 
 
 def _run_rapriori(ctx, txns, config: MiningConfig) -> MiningRunResult:
     from repro.core.rapriori import RApriori
 
-    miner = RApriori(ctx, num_partitions=config.num_partitions, **config.options)
+    miner = RApriori(ctx, num_partitions=config.num_partitions, **_with_store(config))
     return miner.run(txns, config.min_support, max_length=config.max_length)
 
 
 def _run_dist_eclat(ctx, txns, config: MiningConfig) -> MiningRunResult:
     from repro.core.dist_eclat import DistEclat
 
-    miner = DistEclat(ctx, num_partitions=config.num_partitions, **config.options)
+    miner = DistEclat(
+        ctx, num_partitions=config.num_partitions, **_with_store(config)
+    )
     return miner.run(txns, config.min_support, max_length=config.max_length)
 
 
@@ -239,11 +269,41 @@ def _run_mrapriori(txns, config: MiningConfig) -> MiningRunResult:
             backend="threads" if config.backend == "threads" else "serial",
             parallelism=config.parallelism or 4,
         )
-        result = MRApriori(runner, **config.options).run(
+        result = MRApriori(runner, **_with_store(config)).run(
             "/transactions.txt", config.min_support, max_length=config.max_length
         )
         # Items round-tripped through text; restore original types when
         # they were plain ints.
+        if txns and all(isinstance(i, int) for t in txns for i in t):
+            result.itemsets = {
+                tuple(sorted(int(i) for i in k)): v for k, v in result.itemsets.items()
+            }
+        return result
+
+
+def _run_one_phase(txns, config: MiningConfig) -> MiningRunResult:
+    from repro.core.one_phase import OnePhaseMR
+    from repro.hdfs.filesystem import MiniDfs
+    from repro.mapreduce.runner import JobRunner
+
+    with MiniDfs(n_datanodes=2, replication=1) as dfs:
+        dfs.write_lines(
+            "/transactions.txt",
+            (" ".join(str(i) for i in sorted(set(t))) for t in txns),
+        )
+        runner = JobRunner(
+            dfs,
+            backend="threads" if config.backend == "threads" else "serial",
+            parallelism=config.parallelism or 4,
+        )
+        options = _with_store(config)
+        # subset enumeration is exponential without a cap; the class
+        # default (3) applies when neither max_length nor options set one
+        if config.max_length is not None:
+            options.setdefault("max_length", config.max_length)
+        result = OnePhaseMR(runner, **options).run(
+            "/transactions.txt", config.min_support
+        )
         if txns and all(isinstance(i, int) for t in txns for i in t):
             result.itemsets = {
                 tuple(sorted(int(i) for i in k)): v for k, v in result.itemsets.items()
@@ -302,6 +362,11 @@ def _register_builtins() -> None:
     register_algorithm(
         "mrapriori", _run_mrapriori,
         description="MapReduce baseline (spins up an ephemeral mini-DFS)",
+    )
+    register_algorithm(
+        "one_phase", _run_one_phase,
+        description="one-phase MapReduce FIM (subset enumeration, "
+        "max_length-capped; ephemeral mini-DFS)",
     )
     for oracle in ("apriori", "eclat", "fpgrowth"):
         register_algorithm(

@@ -43,6 +43,12 @@ further independent knobs, all default-on:
     k-itemset, re-caching the shrunk RDD and unpersisting the old one.
     Every shrink is measured as a
     :class:`~repro.core.results.CompactionStats` on the pass it follows.
+
+The candidate structure itself is pluggable: ``candidate_store``
+selects any :mod:`repro.core.candidatestore` registration (hash tree by
+default; ``bitmap`` swaps the per-transaction walk for the vertical
+tid-bitmap kernel) — every store yields identical itemsets by the
+at-most-once counting contract.
 """
 
 from __future__ import annotations
@@ -55,6 +61,7 @@ from repro.common.errors import MiningError
 from repro.common.itemset import canonical_transaction, min_support_count
 from repro.common.sizeof import estimate_size
 from repro.core.candidates import apriori_gen
+from repro.core.candidatestore import LinearStore, get_store, make_store
 from repro.core.counting import (
     CandidateCounter,
     CandidateEmitter,
@@ -64,7 +71,6 @@ from repro.core.counting import (
     TransactionEncoder,
     merge_counters,
 )
-from repro.core.hashtree import HashTree
 from repro.core.results import (
     CompactionStats,
     IterationStats,
@@ -95,7 +101,16 @@ class Yafim:
         context's parallelism).
     use_hash_tree:
         Store candidates in a hash tree (paper behaviour).  ``False``
-        degrades to a flat candidate list scan (ablation A3).
+        degrades to a flat candidate list scan (ablation A3).  Only
+        consulted when ``candidate_store`` is unset.
+    candidate_store:
+        Name of a registered :mod:`repro.core.candidatestore` store
+        (``hashtree``/``trie``/``flatdict``/``bitmap``/``linear``) for
+        Phase II counting; overrides ``use_hash_tree`` when given and
+        fails fast on unknown names.
+    store_options:
+        Extra keyword arguments for the store constructor (merged over
+        the ``hash_tree_*`` shape knobs for the ``hashtree`` store).
     use_broadcast:
         Ship candidates via a broadcast variable (paper behaviour).
         ``False`` captures them in every task closure (ablation A1).
@@ -125,6 +140,8 @@ class Yafim:
         use_dict_encoding: bool = True,
         use_in_tree_counting: bool = True,
         use_compaction: bool = True,
+        candidate_store: str | None = None,
+        store_options: dict | None = None,
     ):
         self.ctx = ctx
         self.num_partitions = num_partitions or ctx.default_parallelism
@@ -137,6 +154,12 @@ class Yafim:
         self.use_dict_encoding = use_dict_encoding
         self.use_in_tree_counting = use_in_tree_counting
         self.use_compaction = use_compaction
+        if candidate_store is None:
+            candidate_store = "hashtree" if use_hash_tree else "linear"
+        else:
+            get_store(candidate_store)  # fail on the driver, not in a worker
+        self.candidate_store = candidate_store
+        self.store_options = dict(store_options or {})
 
     # -- public entry points -------------------------------------------------
     def run(
@@ -306,8 +329,8 @@ class Yafim:
         if not candidates:
             return None
         with self.ctx.tracer.span(
-            f"hash_tree_build k={k}", "driver",
-            n_candidates=len(candidates), hash_tree=self.use_hash_tree,
+            f"store_build k={k}", "driver",
+            n_candidates=len(candidates), store=self.candidate_store,
         ):
             matcher = self._build_matcher(candidates)
         bc = self.ctx.broadcast(matcher) if self.use_broadcast else None
@@ -447,13 +470,11 @@ class Yafim:
 
     # -- helpers ---------------------------------------------------------------
     def _build_matcher(self, candidates: list):
-        if self.use_hash_tree:
-            return HashTree(
-                candidates,
-                fanout=self.hash_tree_fanout,
-                max_leaf_size=self.hash_tree_leaf_size,
-            )
-        return _LinearMatcher(candidates)
+        opts = dict(self.store_options)
+        if self.candidate_store == "hashtree":
+            opts.setdefault("fanout", self.hash_tree_fanout)
+            opts.setdefault("max_leaf_size", self.hash_tree_leaf_size)
+        return make_store(self.candidate_store, candidates, **opts)
 
     def _iteration_stats(
         self, k: int, seconds: float, n_candidates: int, n_frequent: int,
@@ -473,42 +494,6 @@ class Yafim:
         )
 
 
-class _LinearMatcher:
-    """Flat candidate list with the same query interface as HashTree.
-
-    Used by ablation A3 to quantify the hash tree's benefit.  Candidate
-    frozensets are precomputed once at construction so the ablation
-    measures tree-vs-list walk cost, not per-transaction tuple
-    conversion overhead.
-    """
-
-    def __init__(self, candidates: list):
-        self.candidates = list(candidates)
-        self._sets = [frozenset(c) for c in self.candidates]
-        self._k = len(self.candidates[0]) if self.candidates else 0
-        self._index: dict | None = None
-
-    def subset(self, transaction) -> list:
-        if len(transaction) < self._k:
-            return []
-        txn_set = frozenset(transaction)
-        issuperset = txn_set.issuperset
-        return [c for c, s in zip(self.candidates, self._sets) if issuperset(s)]
-
-    def count_into(self, counts: dict, transaction, weight: int = 1) -> None:
-        if len(transaction) < self._k:
-            return
-        txn_set = frozenset(transaction)
-        issuperset = txn_set.issuperset
-        get = counts.get
-        for c, s in zip(self.candidates, self._sets):
-            if issuperset(s):
-                counts[c] = get(c, 0) + weight
-
-    def candidate_index(self) -> dict:
-        if self._index is None:
-            self._index = {c: i for i, c in enumerate(self.candidates)}
-        return self._index
-
-    def __len__(self) -> int:
-        return len(self.candidates)
+#: Backwards-compatible name for the A3 ablation matcher, which now lives
+#: in the store registry as ``candidate_store="linear"``.
+_LinearMatcher = LinearStore

@@ -6,7 +6,7 @@ is the observability layer that makes those mechanisms visible: every
 :class:`~repro.engine.context.Context` owns a :class:`Tracer` that the
 scheduler, shuffle manager, broadcast manager and block manager feed with
 hierarchical spans (job -> stage -> task, plus driver-side spans such as
-``apriori_gen`` and ``hash_tree_build`` emitted by the miners).
+``apriori_gen`` and ``store_build`` emitted by the miners).
 
 Exporters:
 

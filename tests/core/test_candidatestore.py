@@ -1,0 +1,299 @@
+"""The pluggable candidate-store API.
+
+Two properties carry the whole redesign:
+
+* the **at-most-once contract** — ``count_into`` adds ``weight`` per
+  contained candidate at most once per transaction, for duplicate
+  transaction items and duplicate candidate inserts alike — which is
+  what makes the stores behaviorally interchangeable;
+* **counting parity** — every registered store produces the counts of a
+  brute-force containment scan, weighted or not, streamed per
+  transaction or batched per partition.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro.core.candidatestore import (
+    BitmapStore,
+    CandidateStore,
+    FlatDictStore,
+    LinearStore,
+    TrieStore,
+    _set_bit_run,
+    get_store,
+    make_store,
+    register_store,
+    store_names,
+    unregister_store,
+)
+from repro.core.hashtree import HashTree
+
+ALL_STORES = ["hashtree", "trie", "flatdict", "bitmap", "linear"]
+
+CANDIDATES = [
+    (1, 2, 3), (1, 2, 4), (1, 3, 5), (2, 3, 4), (2, 4, 6), (3, 5, 7),
+    (4, 5, 6), (5, 6, 7), (1, 4, 7), (2, 5, 7),
+]
+
+TXNS = [
+    (1, 2, 3, 4), (1, 3, 5, 7), (2, 4, 6), (1, 2, 3, 4, 5, 6, 7),
+    (5, 6, 7), (3,), (), (2, 3, 4, 7), (1, 4, 7),
+]
+
+
+def brute_counts(candidates, txns, weights=None):
+    counts = {}
+    weights = weights or [1] * len(txns)
+    for txn, w in zip(txns, weights):
+        tset = set(txn)
+        for cand in candidates:
+            if tset.issuperset(cand):
+                counts[cand] = counts.get(cand, 0) + w
+    return counts
+
+
+def random_case(seed, n_txns=60, n_items=12, k=3, n_cands=25):
+    rng = random.Random(seed)
+    cands = set()
+    while len(cands) < n_cands:
+        cands.add(tuple(sorted(rng.sample(range(n_items), k))))
+    txns = [
+        tuple(sorted(rng.sample(range(n_items), rng.randint(1, n_items - 2))))
+        for _ in range(n_txns)
+    ]
+    return sorted(cands), txns
+
+
+# ---------------------------------------------------------------------------
+# Registry + factory
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(ALL_STORES) <= set(store_names())
+
+    def test_store_names_sorted(self):
+        assert store_names() == sorted(store_names())
+
+    def test_unknown_store_error_lists_names(self):
+        with pytest.raises(ValueError, match="registered stores"):
+            get_store("btree")
+        with pytest.raises(ValueError, match="bitmap.*hashtree|hashtree"):
+            make_store("btree")
+
+    def test_make_store_builds_each(self):
+        for name in ALL_STORES:
+            store = make_store(name, CANDIDATES)
+            assert len(store) == len(CANDIDATES)
+            assert sorted(store) == sorted(CANDIDATES)
+
+    def test_register_and_unregister_custom_store(self):
+        class MyStore(LinearStore):
+            pass
+
+        register_store("mystore", MyStore)
+        try:
+            assert "mystore" in store_names()
+            assert isinstance(make_store("mystore", CANDIDATES), MyStore)
+            with pytest.raises(ValueError, match="already registered"):
+                register_store("mystore", MyStore)
+            register_store("mystore", MyStore, overwrite=True)
+        finally:
+            unregister_store("mystore")
+        assert "mystore" not in store_names()
+
+    def test_hashtree_is_virtual_store(self):
+        assert isinstance(HashTree(CANDIDATES), CandidateStore)
+        assert isinstance(make_store("trie", CANDIDATES), CandidateStore)
+
+    def test_legacy_keyword_shim_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="hash_tree_fanout"):
+            store = make_store("hashtree", CANDIDATES, hash_tree_fanout=8)
+        assert store.fanout == 8
+        with pytest.warns(DeprecationWarning, match="hash_tree_leaf_size"):
+            store = make_store("hashtree", CANDIDATES, hash_tree_leaf_size=4)
+        assert store.max_leaf_size == 4
+
+    def test_no_warning_for_current_keywords(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            store = make_store("hashtree", CANDIDATES, fanout=16, max_leaf_size=8)
+        assert store.fanout == 16
+
+
+# ---------------------------------------------------------------------------
+# The interface contract, per store
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", ALL_STORES)
+class TestStoreContract:
+    def test_counts_match_brute_force(self, name):
+        store = make_store(name, CANDIDATES)
+        counts = {}
+        for txn in TXNS:
+            store.count_into(counts, txn)
+        assert counts == brute_counts(CANDIDATES, TXNS)
+
+    def test_randomized_counting_parity(self, name):
+        for seed in range(5):
+            cands, txns = random_case(seed)
+            store = make_store(name, cands)
+            counts = {}
+            for txn in txns:
+                store.count_into(counts, txn)
+            assert counts == brute_counts(cands, txns), f"seed {seed}"
+
+    def test_at_most_once_per_transaction_with_duplicate_items(self, name):
+        store = make_store(name, [(1, 2, 3)])
+        counts = {}
+        store.count_into(counts, (1, 1, 2, 2, 3, 3, 3))
+        assert counts == {(1, 2, 3): 1}
+
+    def test_duplicate_insert_is_idempotent(self, name):
+        store = make_store(name, [(1, 2, 3), (1, 2, 3), (2, 3, 4)])
+        store.insert((2, 3, 4))
+        assert len(store) == 2
+        counts = {}
+        store.count_into(counts, (1, 2, 3, 4))
+        assert counts == {(1, 2, 3): 1, (2, 3, 4): 1}
+        assert sorted(store.candidate_index().values()) == [0, 1]
+
+    def test_weighted_counting(self, name):
+        store = make_store(name, CANDIDATES)
+        counts = {}
+        weights = [(i % 3) + 1 for i in range(len(TXNS))]
+        for txn, w in zip(TXNS, weights):
+            store.count_into(counts, txn, w)
+        assert counts == brute_counts(CANDIDATES, TXNS, weights)
+
+    def test_count_partition_unweighted(self, name):
+        store = make_store(name, CANDIDATES)
+        counter = getattr(store, "count_partition", None)
+        if counter is None:  # HashTree predates the batch hook
+            pytest.skip(f"{name} has no count_partition")
+        assert counter(iter(TXNS)) == brute_counts(CANDIDATES, TXNS)
+
+    def test_count_partition_weighted(self, name):
+        store = make_store(name, CANDIDATES)
+        counter = getattr(store, "count_partition", None)
+        if counter is None:
+            pytest.skip(f"{name} has no count_partition")
+        weights = [(i % 4) + 1 for i in range(len(TXNS))]
+        got = counter(iter(zip(TXNS, weights)), weighted=True)
+        assert got == brute_counts(CANDIDATES, TXNS, weights)
+
+    def test_subset_matches_count_into(self, name):
+        store = make_store(name, CANDIDATES)
+        for txn in TXNS:
+            counts = {}
+            store.count_into(counts, txn)
+            assert sorted(store.subset(txn)) == sorted(counts)
+
+    def test_short_transaction_matches_nothing(self, name):
+        store = make_store(name, CANDIDATES)
+        counts = {}
+        store.count_into(counts, (1, 2))
+        store.count_into(counts, ())
+        assert counts == {}
+        assert store.subset((1,)) == []
+
+    def test_candidate_index_is_insertion_order(self, name):
+        store = make_store(name, CANDIDATES)
+        index = store.candidate_index()
+        assert index == {c: i for i, c in enumerate(CANDIDATES)}
+
+    def test_mixed_length_insert_rejected(self, name):
+        store = make_store(name, [(1, 2, 3)])
+        with pytest.raises(ValueError):
+            store.insert((1, 2))
+        with pytest.raises(ValueError):
+            make_store(name, [()])
+
+    def test_stats_reports_candidates(self, name):
+        stats = make_store(name, CANDIDATES).stats()
+        assert stats["candidates"] == len(CANDIDATES)
+
+    def test_non_integer_items(self, name):
+        cands = [("a", "b"), ("a", "c"), ("b", "d")]
+        txns = [("a", "b", "c"), ("b", "d"), ("a",), ("a", "b", "c", "d")]
+        store = make_store(name, cands)
+        counts = {}
+        for txn in txns:
+            store.count_into(counts, txn)
+        assert counts == brute_counts(cands, txns)
+
+
+# ---------------------------------------------------------------------------
+# Store-specific behaviour
+# ---------------------------------------------------------------------------
+class TestBitmapStore:
+    def test_set_bit_run(self):
+        for pos, width in [(0, 1), (7, 1), (3, 5), (5, 9), (0, 16), (9, 23), (6, 2)]:
+            buf = bytearray((pos + width + 7) // 8)
+            _set_bit_run(buf, pos, width)
+            val = int.from_bytes(buf, "little")
+            assert val == ((1 << width) - 1) << pos, (pos, width)
+            assert val.bit_count() == width
+
+    def test_weighted_run_encoding_is_exact(self):
+        # compaction multiplicities: (txn, w) occupies a run of w tids, so
+        # one popcount of the AND is already the weighted support
+        store = BitmapStore([(0, 1), (0, 2), (1, 2)])
+        part = [((0, 1, 2), 1000), ((0, 1), 7), ((1, 2), 1), ((0, 2), 90)]
+        got = store.count_partition(iter(part), weighted=True)
+        assert got == {(0, 1): 1007, (0, 2): 1090, (1, 2): 1001}
+
+    def test_partition_skips_irrelevant_items(self):
+        store = BitmapStore([(1, 2)])
+        got = store.count_partition(iter([(1, 2, 99), (3, 4), (1, 2)]))
+        assert got == {(1, 2): 2}
+
+    def test_empty_partition(self):
+        assert BitmapStore([(1, 2)]).count_partition(iter([])) == {}
+        assert BitmapStore().count_partition(iter([(1, 2)])) == {}
+
+    def test_prefix_cached_intersection_matches_brute(self):
+        for seed in (3, 4):
+            cands, txns = random_case(seed, k=4, n_cands=40, n_items=14)
+            store = BitmapStore(cands)
+            got = store.count_partition(iter(txns))
+            assert got == brute_counts(cands, txns)
+
+    def test_insert_after_count_invalidates_order(self):
+        store = BitmapStore([(1, 2)])
+        assert store.count_partition(iter([(1, 2)])) == {(1, 2): 1}
+        store.insert((2, 3))
+        got = store.count_partition(iter([(1, 2, 3)]))
+        assert got == {(1, 2): 1, (2, 3): 1}
+
+    def test_stats_items(self):
+        assert BitmapStore(CANDIDATES).stats()["items"] == 7
+
+
+class TestTrieStore:
+    def test_stats_nodes(self):
+        stats = TrieStore(CANDIDATES).stats()
+        assert stats["nodes"] >= 1
+        assert stats["candidates"] == len(CANDIDATES)
+
+
+class TestFlatDictStore:
+    def test_dense_transaction_falls_back_to_scan(self):
+        # C(|t|, k) >> |C| flips the probe direction; counts are identical
+        cands = [(0, 1, 2)]
+        store = FlatDictStore(cands)
+        txn = tuple(range(40))
+        counts = {}
+        store.count_into(counts, txn)
+        assert counts == {(0, 1, 2): 1}
+
+
+class TestHashTreeContract:
+    def test_duplicate_insert_not_double_counted(self):
+        tree = HashTree([(1, 2, 3)] * 5)
+        assert len(tree) == 1
+        counts = {}
+        tree.count_into(counts, (1, 2, 3, 4))
+        assert counts == {(1, 2, 3): 1}
+        assert tree.subset((1, 2, 3)) == [(1, 2, 3)]

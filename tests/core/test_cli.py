@@ -39,6 +39,23 @@ class TestParser:
             )
             assert args.backend == backend
 
+    def test_mine_rejects_unknown_candidate_store(self):
+        # unknown store names die at argparse time, not mid-run
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mine", "--dataset", "chess", "--support", "0.5",
+                 "--candidate-store", "btree"]
+            )
+
+    def test_candidate_store_choices_come_from_registry(self):
+        from repro.core.candidatestore import store_names
+
+        for cmd in (["mine", "--dataset", "chess", "--support", "0.5"],
+                    ["compare", "--dataset", "chess", "--support", "0.5"]):
+            for name in store_names():
+                args = build_parser().parse_args(cmd + ["--candidate-store", name])
+                assert args.candidate_store == name
+
     def test_serve_parser_defaults(self):
         args = build_parser().parse_args(["serve", "--port", "0"])
         assert args.port == 0 and args.workers == 4
@@ -155,7 +172,7 @@ class TestMine:
         names = {e["name"] for e in doc["traceEvents"]}
         assert any(n.startswith("job-") for n in names)
         assert any(n.startswith("broadcast_publish") for n in names)
-        assert any(n.startswith("hash_tree_build") for n in names)
+        assert any(n.startswith("store_build") for n in names)
 
     def test_mine_without_source_exits(self):
         with pytest.raises(SystemExit):

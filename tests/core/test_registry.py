@@ -126,6 +126,51 @@ class TestMiningConfig:
         got = run_algorithm(TXNS, MiningConfig(min_support=0.4, algorithm="fpgrowth"))
         assert got.itemsets == ORACLE
 
+    def test_unknown_candidate_store_lists_registered_names(self):
+        from repro.core.candidatestore import store_names
+
+        with pytest.raises(MiningError) as err:
+            MiningConfig(min_support=0.4, candidate_store="btree")
+        for name in store_names():
+            assert name in str(err.value)
+
+    def test_canonical_includes_candidate_store(self):
+        cfg = MiningConfig(min_support=0.4, candidate_store="bitmap")
+        assert cfg.canonical()["candidate_store"] == "bitmap"
+
+    def test_cache_key_distinct_across_stores(self):
+        from repro.core.candidatestore import store_names
+
+        keys = {
+            MiningConfig(min_support=0.4, candidate_store=name).cache_key()
+            for name in store_names()
+        }
+        assert len(keys) == len(store_names())
+
+    def test_cache_key_stable_for_same_store(self):
+        a = MiningConfig(min_support=0.4, candidate_store="trie")
+        b = MiningConfig(min_support=0.4, candidate_store="trie")
+        assert a.cache_key() == b.cache_key()
+
+    def test_default_store_not_injected_into_options(self):
+        # `use_hash_tree=False` (ablation A3) must keep selecting the
+        # linear matcher: the default "hashtree" may not override it.
+        got = run_algorithm(
+            TXNS,
+            MiningConfig(
+                min_support=0.4, backend="serial",
+                options={"use_hash_tree": False},
+            ),
+        )
+        assert got.itemsets == ORACLE
+
+    def test_explicit_store_flows_to_miner(self):
+        got = run_algorithm(
+            TXNS,
+            MiningConfig(min_support=0.4, backend="serial", candidate_store="bitmap"),
+        )
+        assert got.itemsets == ORACLE
+
 
 class TestLegacyShim:
     def test_positional_algorithm_warns_but_works(self):

@@ -1,0 +1,105 @@
+"""Oracle-parity grid: candidate store × algorithm × backend.
+
+Every registered store must be a drop-in replacement: for each miner and
+each backend, swapping the store changes wall-clock, never the output.
+The reference is the sequential Apriori oracle (itself cross-checked
+against fpgrowth/eclat elsewhere).
+
+``max_length=3`` everywhere so the candidate-free one-phase miner (whose
+subset enumeration *requires* a cap) mines exactly the same space as the
+reference.
+"""
+
+import pytest
+
+from repro.core.registry import MiningConfig, run_algorithm
+from repro.datasets import mushroom_like, quest_generator
+
+STORES = ["hashtree", "trie", "flatdict", "bitmap"]
+MAX_LEN = 3
+
+
+@pytest.fixture(scope="module")
+def mushroom():
+    ds = mushroom_like(scale=0.02, seed=11)
+    return [tuple(t) for t in ds.transactions]
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    ds = quest_generator(
+        n_transactions=120, n_items=30, avg_transaction_size=6.0,
+        n_patterns=12, seed=7,
+    )
+    return [tuple(t) for t in ds.transactions]
+
+
+def oracle(txns, min_support):
+    cfg = MiningConfig(
+        min_support=min_support, algorithm="apriori", max_length=MAX_LEN
+    )
+    return run_algorithm(txns, cfg).itemsets
+
+
+def mine(txns, min_support, algorithm, store, backend):
+    cfg = MiningConfig(
+        min_support=min_support,
+        algorithm=algorithm,
+        max_length=MAX_LEN,
+        backend=backend,
+        parallelism=2,
+        candidate_store=store,
+    )
+    return run_algorithm(txns, cfg).itemsets
+
+
+class TestEngineMinersStoreGrid:
+    """yafim / rapriori / dist_eclat: in-process engine, both backends."""
+
+    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    @pytest.mark.parametrize("store", STORES)
+    @pytest.mark.parametrize("algorithm", ["yafim", "rapriori", "dist_eclat"])
+    def test_mushroom_matches_oracle(self, mushroom, algorithm, store, backend):
+        want = oracle(mushroom, 0.4)
+        got = mine(mushroom, 0.4, algorithm, store, backend)
+        assert got == want
+
+    @pytest.mark.parametrize("store", STORES)
+    @pytest.mark.parametrize("algorithm", ["yafim", "rapriori", "dist_eclat"])
+    def test_synthetic_matches_oracle(self, synthetic, algorithm, store):
+        want = oracle(synthetic, 0.08)
+        got = mine(synthetic, 0.08, algorithm, store, "serial")
+        assert got == want
+
+    @pytest.mark.parametrize("store", STORES)
+    def test_linear_store_matches_too(self, synthetic, store):
+        want = mine(synthetic, 0.08, "yafim", "linear", "serial")
+        got = mine(synthetic, 0.08, "yafim", store, "serial")
+        assert got == want
+
+
+class TestMapReduceMinersStoreGrid:
+    """mrapriori / one_phase: MapReduce substrate over an ephemeral DFS."""
+
+    @pytest.mark.parametrize("store", STORES)
+    @pytest.mark.parametrize("algorithm", ["mrapriori", "one_phase"])
+    def test_synthetic_matches_oracle(self, synthetic, algorithm, store):
+        want = oracle(synthetic, 0.08)
+        got = mine(synthetic, 0.08, algorithm, store, "serial")
+        assert got == want
+
+    @pytest.mark.parametrize("store", ["hashtree", "bitmap"])
+    def test_mrapriori_mushroom_threads(self, mushroom, store):
+        want = oracle(mushroom, 0.4)
+        got = mine(mushroom, 0.4, "mrapriori", store, "threads")
+        assert got == want
+
+
+class TestProcessBackendSpotChecks:
+    """One multi-process check per headline store (slow to spawn; keep few)."""
+
+    @pytest.mark.parametrize("store", ["bitmap", "flatdict"])
+    def test_yafim_processes(self, mushroom, store):
+        want = oracle(mushroom, 0.4)
+        got = mine(mushroom, 0.4, "yafim", store, "processes")
+        assert got == want

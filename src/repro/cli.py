@@ -188,15 +188,24 @@ def cmd_serve(args) -> int:
         host=args.host,
         port=args.port,
         quiet=args.quiet,
+        shards=args.shards,
+        queue_limit=args.queue_limit,
+        planner=args.planner,
         n_workers=args.workers,
         dataset_cache_bytes=args.dataset_cache_bytes,
         result_cache_entries=args.result_cache_entries,
         result_ttl_s=args.result_ttl,
         default_timeout_s=args.job_timeout,
     )
+    tier = (
+        f"shards={args.shards}, workers/shard={args.workers}, "
+        f"queue_limit={args.queue_limit}, planner={'on' if args.planner else 'off'}"
+        if args.shards > 1 or args.planner
+        else f"workers={args.workers}, queue_limit={args.queue_limit}"
+    )
     print(
         f"serving on {server.url}  "
-        f"(workers={args.workers}, result_ttl={args.result_ttl:g}s; Ctrl-C to stop)",
+        f"({tier}, result_ttl={args.result_ttl:g}s; Ctrl-C to stop)",
         flush=True,
     )
     server.serve_forever()
@@ -225,6 +234,7 @@ def cmd_submit(args) -> int:
         priority=args.priority,
         timeout_s=args.timeout,
         max_retries=args.max_retries,
+        tenant=args.tenant,
     )
     job_id = snapshot["job_id"]
     print(f"submitted {job_id} (state={snapshot['state']}, via={snapshot['via']})")
@@ -334,6 +344,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080, help="0 = ephemeral")
     serve.add_argument("--workers", type=int, default=4, help="worker threads")
     serve.add_argument(
+        "--shards", type=int, default=1,
+        help="mining-service shards behind a consistent-hash router "
+        "(each gets --workers threads and its own caches)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=None,
+        help="bounded queue per service/shard; full queues answer 429 "
+        "(default: unbounded single service, 32 per routed shard)",
+    )
+    serve.add_argument(
+        "--planner", action="store_true",
+        help="choose backend/partitions/candidate-store per job from "
+        "dataset stats, calibrated by completed runs",
+    )
+    serve.add_argument(
         "--dataset-cache-bytes", type=int, default=64 * 1024 * 1024,
         help="byte budget for the cross-job dataset cache",
     )
@@ -362,6 +387,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mining_knobs(submit)
     submit.add_argument("--priority", type=int, default=0, help="lower runs first")
+    submit.add_argument(
+        "--tenant", default="default",
+        help="tenant label for fair-share scheduling and per-tenant metrics",
+    )
     submit.add_argument(
         "--timeout", type=float, default=None, help="server-side job timeout (s)",
     )

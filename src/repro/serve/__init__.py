@@ -18,22 +18,40 @@ from repro.serve.cache import (
 )
 from repro.serve.client import HttpClient, LocalClient
 from repro.serve.http import MiningServer, config_from_dict
-from repro.serve.jobs import Job, JobRequest, JobState, ServeError, TERMINAL_STATES
-from repro.serve.service import MiningService
+from repro.serve.jobs import (
+    Job,
+    JobRequest,
+    JobState,
+    RejectedError,
+    ServeError,
+    TERMINAL_STATES,
+)
+from repro.serve.planner import CostPlanner, DatasetStats, PlanDecision
+from repro.serve.router import ShardRouter
+from repro.serve.service import LatencyHistogram, MiningService
+from repro.serve.shard import HashRing, Shard
 
 __all__ = [
     "ContextPool",
+    "CostPlanner",
     "DatasetCache",
+    "DatasetStats",
+    "HashRing",
     "HttpClient",
     "Job",
     "JobRequest",
     "JobState",
+    "LatencyHistogram",
     "LocalClient",
     "LruByteCache",
     "MiningServer",
     "MiningService",
+    "PlanDecision",
+    "RejectedError",
     "ResultCache",
     "ServeError",
+    "Shard",
+    "ShardRouter",
     "TERMINAL_STATES",
     "config_from_dict",
     "dataset_fingerprint",

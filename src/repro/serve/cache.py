@@ -124,13 +124,15 @@ class LruByteCache:
 class DatasetCache(LruByteCache):
     """Parsed transaction lists keyed by :func:`dataset_fingerprint`."""
 
-    def add(self, transactions: list) -> str:
+    def add(self, transactions: list, fingerprint: str | None = None) -> str:
         """Fingerprint ``transactions``, cache them, return the fingerprint.
 
         Re-adding an already cached dataset refreshes its LRU position but
-        does not count as a miss.
+        does not count as a miss.  ``fingerprint`` lets a caller that has
+        already hashed the data (the shard router, which routes on it)
+        skip the second sha256 pass.
         """
-        fp = dataset_fingerprint(transactions)
+        fp = fingerprint or dataset_fingerprint(transactions)
         with self._lock:
             if fp in self._entries:
                 self._entries.move_to_end(fp)

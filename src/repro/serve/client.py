@@ -16,11 +16,28 @@ import urllib.error
 import urllib.request
 
 from repro.core.registry import MiningConfig
-from repro.serve.jobs import JobState, ServeError, TERMINAL_STATES
+from repro.serve.jobs import JobState, RejectedError, ServeError, TERMINAL_STATES
 from repro.serve.service import MiningService
 
 #: job states (as strings) in which polling should stop
 TERMINAL_STATE_VALUES = frozenset(s.value for s in TERMINAL_STATES)
+
+#: connection-level failures worth retrying: the server is starting,
+#: restarting, or briefly shedding its listen backlog
+_TRANSIENT_CONNECT_ERRORS = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    BrokenPipeError,
+    ConnectionAbortedError,
+)
+
+
+def _is_transient(err: Exception) -> bool:
+    if isinstance(err, _TRANSIENT_CONNECT_ERRORS):
+        return True
+    if isinstance(err, urllib.error.URLError):
+        return isinstance(err.reason, _TRANSIENT_CONNECT_ERRORS)
+    return False
 
 
 class LocalClient:
@@ -60,34 +77,78 @@ class LocalClient:
 
 
 class HttpClient:
-    """JSON-over-HTTP client for a running :class:`MiningServer`."""
+    """JSON-over-HTTP client for a running :class:`MiningServer`.
 
-    def __init__(self, base_url: str, poll_interval_s: float = 0.05):
+    Transient connection failures (refused/reset while the server starts
+    or restarts) are retried with capped exponential backoff
+    (``connect_retries`` attempts, ``retry_backoff_s`` doubling up to
+    ``max_backoff_s``).  A 429 rejection raises
+    :class:`~repro.serve.jobs.RejectedError` carrying the server's
+    ``Retry-After`` hint, which :meth:`mine` honours by backing off and
+    resubmitting until its deadline.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        poll_interval_s: float = 0.05,
+        connect_retries: int = 4,
+        retry_backoff_s: float = 0.1,
+        max_backoff_s: float = 2.0,
+    ):
         self.base_url = base_url.rstrip("/")
         self.poll_interval_s = poll_interval_s
+        self.connect_retries = connect_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.max_backoff_s = max_backoff_s
 
     # -- transport ---------------------------------------------------------
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
-        req = urllib.request.Request(
-            self.base_url + path,
-            data=body,
-            method=method,
-            headers={"Content-Type": "application/json"} if body else {},
-        )
-        try:
-            with urllib.request.urlopen(req, timeout=30) as resp:
-                return json.loads(resp.read())
-        except urllib.error.HTTPError as err:
+        for attempt in range(self.connect_retries + 1):
+            req = urllib.request.Request(
+                self.base_url + path,
+                data=body,
+                method=method,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
             try:
-                detail = json.loads(err.read()).get("error", "")
-            except Exception:  # noqa: BLE001 - best-effort error body
-                detail = ""
-            raise ServeError(
-                f"{method} {path} -> HTTP {err.code}: {detail or err.reason}"
-            ) from err
-        except urllib.error.URLError as err:
-            raise ServeError(f"cannot reach {self.base_url}: {err.reason}") from err
+                with urllib.request.urlopen(req, timeout=30) as resp:
+                    return json.loads(resp.read())
+            except urllib.error.HTTPError as err:
+                try:
+                    detail_payload = json.loads(err.read())
+                    detail = detail_payload.get("error", "")
+                except Exception:  # noqa: BLE001 - best-effort error body
+                    detail_payload, detail = {}, ""
+                if err.code == 429:
+                    header = err.headers.get("Retry-After") if err.headers else None
+                    retry_after = detail_payload.get("retry_after_s")
+                    if retry_after is None:
+                        try:
+                            retry_after = float(header)
+                        except (TypeError, ValueError):
+                            retry_after = 1.0
+                    raise RejectedError(
+                        f"{method} {path} -> HTTP 429: {detail or err.reason}",
+                        retry_after_s=float(retry_after),
+                        scope=detail_payload.get("scope", "server"),
+                        shard=detail_payload.get("shard"),
+                        queue_depth=detail_payload.get("queue_depth"),
+                        queue_limit=detail_payload.get("queue_limit"),
+                    ) from err
+                raise ServeError(
+                    f"{method} {path} -> HTTP {err.code}: {detail or err.reason}"
+                ) from err
+            except (urllib.error.URLError, *_TRANSIENT_CONNECT_ERRORS) as err:
+                if _is_transient(err) and attempt < self.connect_retries:
+                    backoff = min(
+                        self.max_backoff_s, self.retry_backoff_s * (2**attempt)
+                    )
+                    time.sleep(backoff)
+                    continue
+                reason = getattr(err, "reason", err)
+                raise ServeError(f"cannot reach {self.base_url}: {reason}") from err
 
     # -- verbs -------------------------------------------------------------
     def healthz(self) -> dict:
@@ -104,8 +165,14 @@ class HttpClient:
         priority: int = 0,
         timeout_s: float | None = None,
         max_retries: int = 0,
+        tenant: str = "default",
+        pinned=(),
     ) -> dict:
-        """POST the job; returns the server's job snapshot (``job_id`` etc.)."""
+        """POST the job; returns the server's job snapshot (``job_id`` etc.).
+
+        Raises :class:`RejectedError` on a 429 (queue full / load shed);
+        its ``retry_after_s`` says how long to back off before retrying.
+        """
         if isinstance(config, MiningConfig):
             config = config.canonical()
         payload = {
@@ -113,7 +180,10 @@ class HttpClient:
             "config": config,
             "priority": priority,
             "max_retries": max_retries,
+            "tenant": tenant,
         }
+        if pinned:
+            payload["pinned"] = sorted(pinned)
         if timeout_s is not None:
             payload["timeout_s"] = timeout_s
         return self._request("POST", "/jobs", payload)
@@ -125,10 +195,21 @@ class HttpClient:
         return bool(self._request("DELETE", f"/jobs/{job_id}").get("cancelled"))
 
     def wait(self, job_id: str, timeout: float | None = None) -> dict:
-        """Poll until the job is terminal; returns the final snapshot."""
+        """Poll until the job is terminal; returns the final snapshot.
+
+        A 429 on the status poll (a rate-limited server) is not fatal:
+        the loop honours the ``Retry-After`` hint and keeps polling
+        until the deadline.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
-            snapshot = self.status(job_id)
+            try:
+                snapshot = self.status(job_id)
+            except RejectedError as err:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise
+                time.sleep(self._bounded_sleep(err.retry_after_s, deadline))
+                continue
             if snapshot["state"] in TERMINAL_STATE_VALUES:
                 return snapshot
             if deadline is not None and time.monotonic() >= deadline:
@@ -136,6 +217,12 @@ class HttpClient:
                     f"job {job_id} still {snapshot['state']} after {timeout}s"
                 )
             time.sleep(self.poll_interval_s)
+
+    def _bounded_sleep(self, wanted_s: float, deadline: float | None) -> float:
+        sleep_s = max(0.01, wanted_s)
+        if deadline is not None:
+            sleep_s = min(sleep_s, max(0.0, deadline - time.monotonic()))
+        return sleep_s
 
     def result_detail(self, job_id: str) -> dict:
         """The raw ``GET /results/<id>`` payload (raises unless DONE)."""
@@ -148,11 +235,29 @@ class HttpClient:
         return itemsets_from_payload(self.result_detail(job_id))
 
     def mine(
-        self, transactions, config: MiningConfig | dict, timeout: float | None = None
+        self,
+        transactions,
+        config: MiningConfig | dict,
+        timeout: float | None = None,
+        **submit_kwargs,
     ) -> dict:
-        """Submit, poll to completion, return the itemsets mapping."""
-        snapshot = self.submit(transactions, config)
-        final = self.wait(snapshot["job_id"], timeout)
+        """Submit, poll to completion, return the itemsets mapping.
+
+        When admission control rejects the submit with a 429, back off
+        for the server's ``Retry-After`` and resubmit, until ``timeout``
+        runs out (then the last :class:`RejectedError` propagates).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                snapshot = self.submit(transactions, config, **submit_kwargs)
+                break
+            except RejectedError as err:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise
+                time.sleep(self._bounded_sleep(err.retry_after_s, deadline))
+        remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+        final = self.wait(snapshot["job_id"], remaining)
         if final["state"] != JobState.DONE.value:
             raise ServeError(
                 f"job {final['job_id']} ended {final['state']}: {final.get('error')}"

@@ -5,8 +5,10 @@ JSON over ``http.server`` — no third-party dependencies:
 =======================  ====================================================
 ``POST /jobs``           submit ``{"transactions": [[...], ...],
                          "config": {"min_support": ..., ...},
-                         "priority"/"timeout_s"/"max_retries"}`` → 202 with
-                         the job snapshot (200 when memoized)
+                         "priority"/"timeout_s"/"max_retries"/"tenant"/
+                         "pinned"}`` → 202 with the job snapshot (200 when
+                         memoized; 429 + ``Retry-After`` when admission
+                         control or load shedding rejects)
 ``GET /jobs/<id>``       lifecycle snapshot (state, attempts, timings...)
 ``DELETE /jobs/<id>``    cancel (queued or running)
 ``GET /results/<id>``    mined itemsets once DONE (409 with the state
@@ -24,16 +26,26 @@ foreground.
 from __future__ import annotations
 
 import json
+import math
 import threading
 from dataclasses import fields as dataclass_fields
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.common.errors import MiningError
 from repro.core.registry import MiningConfig
-from repro.serve.jobs import JobState, ServeError
+from repro.serve.jobs import JobState, RejectedError, ServeError
+from repro.serve.planner import CostPlanner
+from repro.serve.router import ShardRouter
 from repro.serve.service import MiningService
 
 _CONFIG_FIELDS = {f.name for f in dataclass_fields(MiningConfig)}
+
+#: top-level keys POST /jobs accepts; anything else is a 400 (typos like
+#: ``priorty`` must not silently fall back to defaults)
+_SUBMIT_FIELDS = {
+    "transactions", "config", "priority", "timeout_s", "max_retries",
+    "tenant", "pinned",
+}
 
 
 def config_from_dict(payload: dict) -> MiningConfig:
@@ -76,7 +88,7 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     @property
-    def service(self) -> MiningService:
+    def service(self) -> MiningService | ShardRouter:
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, fmt, *args):  # noqa: A003 - stdlib signature
@@ -84,11 +96,15 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     # -- plumbing ----------------------------------------------------------
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -115,9 +131,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         path = self.path.rstrip("/")
         if path == "/healthz":
-            self._send_json(
-                200, {"status": "ok", "workers": len(self.service._workers)}
-            )
+            self._send_json(200, self.service.healthz())
         elif path == "/metrics":
             self._send_json(200, self.service.metrics())
         elif path.startswith("/jobs/"):
@@ -144,17 +158,39 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             payload = self._read_json()
+            unknown = set(payload) - _SUBMIT_FIELDS
+            if unknown:
+                raise ServeError(
+                    f"unknown field(s) {sorted(unknown)}; "
+                    f"valid: {sorted(_SUBMIT_FIELDS)}"
+                )
             transactions = payload.get("transactions")
             if not isinstance(transactions, list) or not transactions:
                 raise ServeError("transactions must be a non-empty list of lists")
-            config = config_from_dict(payload.get("config") or {})
-            job = self.service.submit(
-                transactions,
-                config,
+            config_payload = payload.get("config") or {}
+            config = config_from_dict(config_payload)
+            submit_kwargs = dict(
                 priority=int(payload.get("priority", 0)),
                 timeout_s=payload.get("timeout_s"),
                 max_retries=int(payload.get("max_retries", 0)),
+                tenant=str(payload.get("tenant", "default")),
             )
+            if isinstance(self.service, ShardRouter):
+                # a knob is pinned when its value is non-default or when it
+                # is named here — "pinned" lets a caller force-keep a
+                # default-valued knob the planner would otherwise choose
+                submit_kwargs["pinned"] = set(payload.get("pinned") or ())
+            job = self.service.submit(transactions, config, **submit_kwargs)
+        except RejectedError as err:
+            # admission control / load shedding: structured 429 with a
+            # machine-usable backoff hint (integer seconds per RFC 9110,
+            # fractional seconds in the body)
+            self._send_json(
+                429,
+                err.payload(),
+                headers={"Retry-After": str(max(1, math.ceil(err.retry_after_s)))},
+            )
+            return
         except (ServeError, MiningError, TypeError, ValueError) as err:
             # TypeError/ValueError cover malformed-but-valid-JSON payloads:
             # a string min_support tripping __post_init__'s comparison, a
@@ -176,7 +212,8 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class MiningServer:
-    """A :class:`MiningService` behind a threading HTTP server.
+    """A :class:`MiningService` — or a :class:`ShardRouter` over several —
+    behind a threading HTTP server.
 
     ``port=0`` binds an ephemeral port (read it back from ``.port``)::
 
@@ -184,19 +221,45 @@ class MiningServer:
             client = HttpClient(server.url)
             ...
 
-    The server owns its service unless one is passed in.
+    ``shards > 1`` (or ``planner=True``) puts a :class:`ShardRouter` in
+    front: consistent-hash routing by dataset fingerprint, per-shard
+    bounded queues with 429s, spill-over, and optional cost-based
+    planning::
+
+        with MiningServer(port=0, shards=4, queue_limit=16, planner=True):
+            ...
+
+    The server owns its service unless one is passed in (which may be a
+    ``MiningService`` or a ``ShardRouter``).
     """
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 0,
-        service: MiningService | None = None,
+        service: MiningService | ShardRouter | None = None,
         quiet: bool = True,
+        shards: int = 1,
+        queue_limit: int | None = None,
+        planner: bool | CostPlanner = False,
         **service_kwargs,
     ):
         self._owns_service = service is None
-        self.service = service or MiningService(**service_kwargs)
+        if service is None:
+            if shards > 1 or planner:
+                if queue_limit is not None:
+                    service_kwargs["queue_limit"] = queue_limit  # else router default
+                service = ShardRouter(
+                    n_shards=max(1, shards),
+                    planner=(
+                        planner if isinstance(planner, CostPlanner)
+                        else CostPlanner() if planner else None
+                    ),
+                    **service_kwargs,
+                )
+            else:
+                service = MiningService(queue_limit=queue_limit, **service_kwargs)
+        self.service = service
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.service = self.service  # type: ignore[attr-defined]

@@ -31,6 +31,45 @@ class ServeError(ReproError):
     """Raised for invalid service requests (unknown job, bad payload...)."""
 
 
+class RejectedError(ServeError):
+    """Admission control refused a job — the 429 of the serving tier.
+
+    Carries enough structure for a client to back off intelligently:
+    ``retry_after_s`` (the server's load-based estimate of when a slot
+    frees up), the rejecting ``scope`` (one shard vs. the whole router),
+    and the queue numbers that triggered the rejection.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after_s: float = 1.0,
+        scope: str = "shard",
+        shard: str | None = None,
+        queue_depth: int | None = None,
+        queue_limit: int | None = None,
+    ):
+        super().__init__(message)
+        self.retry_after_s = max(0.0, retry_after_s)
+        self.scope = scope
+        self.shard = shard
+        self.queue_depth = queue_depth
+        self.queue_limit = queue_limit
+
+    def payload(self) -> dict:
+        """The JSON body a 429 response carries."""
+        return {
+            "error": str(self),
+            "rejected": True,
+            "scope": self.scope,
+            "shard": self.shard,
+            "queue_depth": self.queue_depth,
+            "queue_limit": self.queue_limit,
+            "retry_after_s": round(self.retry_after_s, 3),
+        }
+
+
 class JobState(str, Enum):
     PENDING = "pending"
     RUNNING = "running"
@@ -61,12 +100,15 @@ class JobRequest:
     timeout_s: float | None = None
     max_retries: int = 0
     retry_backoff_s: float = 0.05  # doubles per retry
+    tenant: str = "default"  # fair-share scheduling bucket
 
     def __post_init__(self):
         if self.max_retries < 0:
             raise ServeError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ServeError(f"timeout_s must be positive, got {self.timeout_s}")
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ServeError(f"tenant must be a non-empty string, got {self.tenant!r}")
 
 
 @dataclass
@@ -87,8 +129,20 @@ class Job:
     #: submit time) or "coalesced" (attached to an identical in-flight job)
     via: str = "run"
     coalesced_with: str | None = None
+    #: name of the MiningService shard that accepted the job (router mode)
+    shard: str | None = None
+    #: knobs the cost-based planner chose for this job, e.g.
+    #: ``{"backend": "serial", "num_partitions": 2}`` (None = no planner)
+    planned: dict | None = None
     cancel_event: threading.Event = field(default_factory=threading.Event, repr=False)
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
+    #: the submitted transactions, pinned until the job is terminal so
+    #: DatasetCache eviction under memory pressure can never fail an
+    #: accepted job (admission control bounds how many pins exist)
+    _txns: object | None = field(default=None, repr=False)
+    #: True while the job sits in a tenant queue (service-internal; used to
+    #: keep the admission-control depth counter exact under lazy removal)
+    _queued: bool = field(default=False, repr=False)
 
     @property
     def result_key(self) -> tuple[str, str]:
@@ -113,10 +167,13 @@ class Job:
             "min_support": self.request.config.min_support,
             "dataset_fingerprint": self.dataset_fingerprint,
             "priority": self.request.priority,
+            "tenant": self.request.tenant,
             "attempts": self.attempts,
             "via": self.via,
             "error": self.error,
             "coalesced_with": self.coalesced_with,
+            "shard": self.shard,
+            "planned": self.planned,
             "queued_seconds": round(
                 (self.started_s or self.finished_s or now) - self.submitted_s, 6
             ),

@@ -1,0 +1,313 @@
+"""Shard-routing front-end: N mining services behind one submit surface.
+
+``ShardRouter`` is the "millions of users" story for ``repro.serve``:
+instead of one process-wide queue and worker pool, jobs spread across N
+in-process :class:`~repro.serve.service.MiningService` shards.
+
+* **Cache affinity.**  Jobs route by consistent-hashed
+  ``dataset_fingerprint`` (:class:`~repro.serve.shard.HashRing`, virtual
+  nodes), so every dataset has one *home shard* that keeps its
+  ``DatasetCache`` / ``ContextPool`` / ``ResultCache`` warm — the ~110x
+  memoization win and the warm-context win only exist when repeat
+  traffic for a dataset lands on the same shard.  Routing is
+  deterministic: same fingerprint, same home shard, across restarts.
+* **Spill.**  When the home shard's queue is full, the job walks the
+  ring (next distinct shards in ring order) and runs cold on the first
+  shard with room — latency over rejection, but affinity first.
+* **Admission control.**  Every shard queue is bounded
+  (``queue_limit``); when the whole preference chain is saturated the
+  router raises :class:`~repro.serve.jobs.RejectedError`, which the
+  HTTP front-end maps to ``429`` + ``Retry-After``.  Queue depth — and
+  therefore memory — stays bounded under any overload.
+* **Load shedding.**  Above ``shed_at`` global queue utilization,
+  low-priority jobs (``priority > shed_priority``) are rejected
+  immediately, preserving the remaining slots for important traffic.
+* **Cost-based planning.**  An optional
+  :class:`~repro.serve.planner.CostPlanner` fills unpinned engine knobs
+  (backend / partitions / candidate store) per job and is calibrated by
+  every completed run's measured time.
+
+The router exposes the same verbs as a single service (``submit`` /
+``get`` / ``wait`` / ``cancel`` / ``metrics`` / ``shutdown``), so
+:class:`~repro.serve.client.LocalClient` and the HTTP front-end work
+against either.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.registry import MiningConfig
+from repro.serve.cache import dataset_fingerprint
+from repro.serve.jobs import Job, JobState, RejectedError, ServeError
+from repro.serve.planner import CostPlanner, PlanDecision
+from repro.serve.service import MiningService
+from repro.serve.shard import HashRing, Shard
+
+
+class ShardRouter:
+    """Consistent-hash router over N in-process mining-service shards.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of :class:`MiningService` shards to create (each with its
+        own queue, workers, and caches).
+    n_workers:
+        Worker threads *per shard*.
+    queue_limit:
+        Bounded queue length per shard (admission control).  ``None``
+        disables rejection — the router then never spills either, since
+        no shard ever reports itself full.
+    planner:
+        A :class:`CostPlanner` (or ``None``).  When set, every submit
+        plans unpinned knobs and completed runs calibrate the model.
+    replicas:
+        Virtual nodes per shard on the hash ring.
+    spill:
+        Walk the ring past a saturated home shard (default) instead of
+        rejecting immediately.
+    shed_priority / shed_at:
+        Router-level load shedding: when global queue utilization is at
+        least ``shed_at`` (a fraction of total queue capacity), jobs
+        with ``priority > shed_priority`` are rejected without trying
+        any shard.  ``shed_priority=None`` disables shedding.
+    service_kwargs:
+        Forwarded to every shard's :class:`MiningService` (cache budgets,
+        TTLs, timeouts, ``tenant_weights``...).
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        *,
+        n_workers: int = 2,
+        queue_limit: int | None = 32,
+        planner: CostPlanner | None = None,
+        replicas: int = 64,
+        spill: bool = True,
+        shed_priority: int | None = None,
+        shed_at: float = 0.8,
+        **service_kwargs,
+    ):
+        if n_shards < 1:
+            raise ServeError(f"n_shards must be >= 1, got {n_shards}")
+        if not 0.0 < shed_at <= 1.0:
+            raise ServeError(f"shed_at must be in (0, 1], got {shed_at}")
+        self.planner = planner
+        self.spill = spill
+        self.shed_priority = shed_priority
+        self.shed_at = shed_at
+        self.queue_limit = queue_limit
+        self.shards = [
+            Shard(
+                f"shard-{i}",
+                MiningService(
+                    n_workers=n_workers,
+                    queue_limit=queue_limit,
+                    name=f"shard-{i}",
+                    on_job_finished=self._on_job_finished,
+                    **service_kwargs,
+                ),
+            )
+            for i in range(n_shards)
+        ]
+        self._by_name = {s.name: s for s in self.shards}
+        self.ring = HashRing([s.name for s in self.shards], replicas=replicas)
+        self._lock = threading.Lock()
+        self._job_shard: dict[str, Shard] = {}
+        self._decisions: dict[str, PlanDecision] = {}
+        self._shutdown = False
+        self.jobs_routed = 0
+        self.jobs_spilled = 0
+        self.jobs_rejected = 0
+        self.jobs_shed = 0
+
+    # -- routing -----------------------------------------------------------
+    def home_shard(self, transactions_or_fingerprint) -> str:
+        """Deterministic home-shard name for a dataset (or fingerprint)."""
+        fp = (
+            transactions_or_fingerprint
+            if isinstance(transactions_or_fingerprint, str)
+            else dataset_fingerprint(transactions_or_fingerprint)
+        )
+        return self.ring.node_for(fp)
+
+    def _global_utilization(self) -> float:
+        if not self.queue_limit:
+            return 0.0
+        depth = sum(s.queue_depth() for s in self.shards)
+        return depth / (self.queue_limit * len(self.shards))
+
+    def submit(
+        self,
+        transactions,
+        config: MiningConfig,
+        *,
+        priority: int = 0,
+        timeout_s: float | None = None,
+        max_retries: int = 0,
+        tenant: str = "default",
+        pinned=(),
+    ) -> Job:
+        """Route one job: plan, shed, try home shard, spill along the ring.
+
+        Raises :class:`RejectedError` when shedding fires or every shard
+        in the preference chain refused admission; the error carries the
+        smallest ``retry_after_s`` any shard suggested.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise ServeError("router is shut down")
+        txns = transactions if isinstance(transactions, list) else list(transactions)
+        fp = dataset_fingerprint(txns)
+
+        decision = None
+        if self.planner is not None:
+            config, decision = self.planner.plan(
+                txns, config, pinned=pinned, fingerprint=fp
+            )
+
+        if (
+            self.shed_priority is not None
+            and priority > self.shed_priority
+            and self._global_utilization() >= self.shed_at
+        ):
+            with self._lock:
+                self.jobs_shed += 1
+            raise RejectedError(
+                f"load shed: priority {priority} > {self.shed_priority} while "
+                f"queues are {self._global_utilization():.0%} full",
+                retry_after_s=1.0,
+                scope="router",
+            )
+
+        preference = self.ring.preference(fp)
+        if not self.spill:
+            preference = preference[:1]
+        rejections: list[RejectedError] = []
+        for rank, name in enumerate(preference):
+            shard = self._by_name[name]
+            try:
+                job = shard.submit(
+                    txns,
+                    config,
+                    home=rank == 0,
+                    priority=priority,
+                    timeout_s=timeout_s,
+                    max_retries=max_retries,
+                    tenant=tenant,
+                    fingerprint=fp,
+                )
+            except RejectedError as err:
+                rejections.append(err)
+                continue
+            if decision is not None:
+                job.planned = decision.chosen
+            with self._lock:
+                self.jobs_routed += 1
+                if rank > 0:
+                    self.jobs_spilled += 1
+                self._job_shard[job.job_id] = shard
+                if decision is not None and job.via == "run":
+                    self._decisions[job.job_id] = decision
+            return job
+
+        with self._lock:
+            self.jobs_rejected += 1
+        retry_after = min((r.retry_after_s for r in rejections), default=1.0)
+        raise RejectedError(
+            f"all {len(preference)} shard(s) are saturated",
+            retry_after_s=retry_after,
+            scope="router",
+            queue_depth=sum(s.queue_depth() for s in self.shards),
+            queue_limit=(self.queue_limit or 0) * len(self.shards),
+        )
+
+    # -- planner feedback --------------------------------------------------
+    def _on_job_finished(self, job: Job) -> None:
+        """Shard callback (runs under that shard's service lock): feed the
+        measured runtime of planned, actually-run jobs to the planner."""
+        with self._lock:
+            decision = self._decisions.pop(job.job_id, None)
+        if (
+            decision is not None
+            and self.planner is not None
+            and job.state is JobState.DONE
+            and job.via == "run"
+            and job.started_s is not None
+            and job.finished_s is not None
+        ):
+            self.planner.observe(decision, job.finished_s - job.started_s)
+
+    # -- queries -----------------------------------------------------------
+    def _shard_for_job(self, job_id: str) -> Shard:
+        with self._lock:
+            shard = self._job_shard.get(job_id)
+        if shard is None:
+            raise ServeError(f"unknown job {job_id!r}")
+        return shard
+
+    def get(self, job_id: str) -> Job:
+        return self._shard_for_job(job_id).service.get(job_id)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        return self._shard_for_job(job_id).service.wait(job_id, timeout)
+
+    def cancel(self, job_id: str) -> bool:
+        return self._shard_for_job(job_id).service.cancel(job_id)
+
+    def queue_depth(self) -> int:
+        return sum(s.queue_depth() for s in self.shards)
+
+    def healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "shards": len(self.shards),
+            "workers": sum(len(s.service._workers) for s in self.shards),
+        }
+
+    def metrics(self) -> dict:
+        """Router counters + ring + per-shard service metrics."""
+        with self._lock:
+            out = {
+                "router": {
+                    "shards": len(self.shards),
+                    "queue_limit_per_shard": self.queue_limit,
+                    "jobs_routed": self.jobs_routed,
+                    "jobs_spilled": self.jobs_spilled,
+                    "jobs_rejected": self.jobs_rejected,
+                    "jobs_shed": self.jobs_shed,
+                    "spill": self.spill,
+                    "shed_priority": self.shed_priority,
+                    "shed_at": self.shed_at,
+                },
+                "ring": {"nodes": self.ring.nodes, "replicas": self.ring.replicas},
+            }
+        # shard/service metrics are collected outside the router lock
+        # (lock order is always service -> router, never the reverse)
+        out["router"]["queue_depth"] = self.queue_depth()
+        out["shards"] = [
+            {**s.stats(), "service": s.service.metrics()} for s in self.shards
+        ]
+        if self.planner is not None:
+            out["planner"] = self.planner.stats()
+        return out
+
+    # -- lifecycle ---------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        for shard in self.shards:
+            shard.service.shutdown(wait=wait)
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+__all__ = ["ShardRouter"]

@@ -32,14 +32,71 @@ import heapq
 import itertools
 import threading
 import time
+from collections import deque
 
 from repro.common.errors import EngineError
 from repro.core.registry import MiningConfig, get_algorithm, run_algorithm
 from repro.serve.cache import ContextPool, DatasetCache, ResultCache
-from repro.serve.jobs import Job, JobRequest, JobState, ServeError
+from repro.serve.jobs import Job, JobRequest, JobState, RejectedError, ServeError
 
 #: exception types treated as transient (retried with backoff)
 TRANSIENT_ERRORS = (EngineError,)
+
+
+class LatencyHistogram:
+    """Bounded-reservoir latency recorder with percentile summaries.
+
+    Keeps the most recent ``max_samples`` observations (enough for stable
+    p50/p95/p99 at serving rates) plus lifetime count/total, so the
+    ``/metrics`` payload stays O(1) in served-job count.  Thread-safe.
+    """
+
+    def __init__(self, max_samples: int = 2048):
+        self._lock = threading.Lock()
+        self._samples: deque[float] = deque(maxlen=max_samples)
+        self.count = 0
+        self.total_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self.count += 1
+            self.total_s += seconds
+
+    @property
+    def mean_s(self) -> float:
+        with self._lock:
+            return self.total_s / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) over the retained window (0.0 empty)."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        idx = min(len(samples) - 1, max(0, round(q * (len(samples) - 1))))
+        return samples[idx]
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary: count, mean, p50/p95/p99, max."""
+        with self._lock:
+            samples = sorted(self._samples)
+            count, total = self.count, self.total_s
+        if not samples:
+            return {"count": count, "mean_s": 0.0, "p50_s": 0.0,
+                    "p95_s": 0.0, "p99_s": 0.0, "max_s": 0.0}
+
+        def pct(q):
+            return samples[min(len(samples) - 1, max(0, round(q * (len(samples) - 1))))]
+
+        return {
+            "count": count,
+            "mean_s": round(total / count, 6),
+            "p50_s": round(pct(0.50), 6),
+            "p95_s": round(pct(0.95), 6),
+            "p99_s": round(pct(0.99), 6),
+            "max_s": round(samples[-1], 6),
+        }
 
 
 class MiningService:
@@ -59,6 +116,26 @@ class MiningService:
         means no deadline.
     max_idle_contexts:
         Warm engine contexts kept per ``(backend, parallelism)`` key.
+    queue_limit:
+        Admission control: maximum jobs waiting in the queue.  A submit
+        that would exceed it raises :class:`RejectedError` (HTTP 429)
+        instead of growing the queue without bound.  Memoized hits and
+        coalesced followers never consume a slot and are always admitted.
+        ``None`` (default) keeps the queue unbounded.
+    tenant_weights:
+        SLO weights for fair-share scheduling, tenant name -> weight > 0
+        (missing tenants get 1.0).  Workers pick jobs deficit-round-robin
+        across per-tenant sub-queues — each tenant earns ``weight`` jobs
+        of credit per scheduling round, so one tenant's backlog cannot
+        starve the rest; priority still orders jobs *within* a tenant.
+    name:
+        Optional shard name, stamped on every accepted job and reported
+        in metrics (the router names its shards ``shard-0..n-1``).
+    on_job_finished:
+        Optional callback invoked (under the service lock) with each job
+        as it reaches a terminal state — the router feeds observed
+        runtimes back to the planner through this.  Must not call back
+        into the service.
     """
 
     def __init__(
@@ -69,16 +146,35 @@ class MiningService:
         result_ttl_s: float = 300.0,
         default_timeout_s: float | None = None,
         max_idle_contexts: int = 2,
+        queue_limit: int | None = None,
+        tenant_weights: dict[str, float] | None = None,
+        name: str | None = None,
+        on_job_finished=None,
     ):
         if n_workers < 1:
             raise ServeError(f"n_workers must be >= 1, got {n_workers}")
+        if queue_limit is not None and queue_limit < 1:
+            raise ServeError(f"queue_limit must be >= 1, got {queue_limit}")
+        for tenant, weight in (tenant_weights or {}).items():
+            if not weight > 0:
+                raise ServeError(f"tenant weight must be > 0, got {tenant}={weight}")
         self.datasets = DatasetCache(dataset_cache_bytes)
         self.results = ResultCache(result_cache_entries, result_ttl_s)
         self.contexts = ContextPool(max_idle_contexts)
         self.default_timeout_s = default_timeout_s
+        self.queue_limit = queue_limit
+        self.tenant_weights = dict(tenant_weights or {})
+        self.name = name
+        self.on_job_finished = on_job_finished
         self._lock = threading.Lock()
         self._queue_cond = threading.Condition(self._lock)
-        self._heap: list[tuple[int, int, Job]] = []  # (priority, seq, job)
+        # Per-tenant priority heaps of (priority, seq, job), served
+        # deficit-round-robin (see _pop_next_locked).
+        self._tenant_heaps: dict[str, list[tuple[int, int, Job]]] = {}
+        self._tenant_order: list[str] = []
+        self._deficits: dict[str, float] = {}
+        self._rr_cursor = 0
+        self._queued = 0  # PENDING jobs currently in a tenant heap
         self._seq = itertools.count()
         self._jobs: dict[str, Job] = {}
         #: result_key -> primary in-flight Job (for coalescing)
@@ -88,6 +184,12 @@ class MiningService:
         self._shutdown = False
         self.jobs_submitted = 0
         self.jobs_coalesced = 0
+        self.jobs_rejected = 0
+        #: p50/p95/p99 for the two state transitions: pending->running
+        #: (queue wait) and running->terminal (run time)
+        self.queue_wait_hist = LatencyHistogram()
+        self.run_time_hist = LatencyHistogram()
+        self._tenant_counts: dict[str, dict[str, int]] = {}
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"repro-serve-{i}", daemon=True
@@ -107,11 +209,17 @@ class MiningService:
         timeout_s: float | None = None,
         max_retries: int = 0,
         retry_backoff_s: float = 0.05,
+        tenant: str = "default",
+        fingerprint: str | None = None,
     ) -> Job:
         """Queue one mining job; returns immediately with its :class:`Job`.
 
         The job may already be terminal on return: a fresh result-cache hit
         comes back ``DONE`` with ``via="memoized"`` without ever queueing.
+
+        Raises :class:`RejectedError` when ``queue_limit`` is set and the
+        queue is full — except for memoized hits and coalesced followers,
+        which consume no queue slot and are always admitted.
         """
         get_algorithm(config.algorithm)  # fail fast on unknown algorithms
         request = JobRequest(
@@ -120,32 +228,109 @@ class MiningService:
             timeout_s=self.default_timeout_s if timeout_s is None else timeout_s,
             max_retries=max_retries,
             retry_backoff_s=retry_backoff_s,
+            tenant=tenant,
         )
         txns = transactions if isinstance(transactions, list) else list(transactions)
-        fingerprint = self.datasets.add(txns)
-        job = Job(request=request, dataset_fingerprint=fingerprint)
+        fingerprint = self.datasets.add(txns, fingerprint)
+        job = Job(request=request, dataset_fingerprint=fingerprint, shard=self.name)
+        job._txns = txns  # released in _finish_locked
         key = job.result_key
 
         memoized = self.results.get(key)
         with self._queue_cond:
             if self._shutdown:
                 raise ServeError("service is shut down")
-            self._jobs[job.job_id] = job
-            self.jobs_submitted += 1
             if memoized is not None:
+                self._register_locked(job)
                 self._finish_locked(job, JobState.DONE, result=memoized, via="memoized")
                 return job
             primary = self._inflight.get(key)
             if primary is not None and not primary.is_terminal:
+                self._register_locked(job)
                 job.via = "coalesced"
                 job.coalesced_with = primary.job_id
                 self.jobs_coalesced += 1
                 self._followers.setdefault(key, []).append(job)
                 return job
+            if self.queue_limit is not None and self._queued >= self.queue_limit:
+                self.jobs_rejected += 1
+                raise RejectedError(
+                    f"queue full ({self._queued}/{self.queue_limit} jobs waiting)"
+                    + (f" on {self.name}" if self.name else ""),
+                    retry_after_s=self._retry_after_locked(),
+                    shard=self.name,
+                    queue_depth=self._queued,
+                    queue_limit=self.queue_limit,
+                )
+            self._register_locked(job)
             self._inflight[key] = job
-            heapq.heappush(self._heap, (request.priority, next(self._seq), job))
-            self._queue_cond.notify()
+            self._enqueue_locked(job)
         return job
+
+    def _register_locked(self, job: Job) -> None:
+        self._jobs[job.job_id] = job
+        self.jobs_submitted += 1
+        counts = self._tenant_counts.setdefault(job.request.tenant, {"submitted": 0})
+        counts["submitted"] += 1
+
+    def _retry_after_locked(self) -> float:
+        """Load-based Retry-After estimate: time for the backlog to drain
+        one slot, from the observed mean run time (floored when cold)."""
+        mean_run = self.run_time_hist.mean_s or 0.1
+        estimate = mean_run * (self._queued + 1) / len(self._workers)
+        return min(30.0, max(0.05, estimate))
+
+    # -- tenant queues (deficit round-robin) -------------------------------
+    def _enqueue_locked(self, job: Job) -> None:
+        tenant = job.request.tenant
+        heap = self._tenant_heaps.get(tenant)
+        if heap is None:
+            heap = self._tenant_heaps[tenant] = []
+            self._tenant_order.append(tenant)
+            self._deficits.setdefault(tenant, 0.0)
+        heapq.heappush(heap, (job.request.priority, next(self._seq), job))
+        job._queued = True
+        self._queued += 1
+        self._queue_cond.notify()
+
+    def _dequeue_account_locked(self, job: Job) -> None:
+        """A queued job left the queue (popped, cancelled, or drained)."""
+        if job._queued:
+            job._queued = False
+            self._queued -= 1
+
+    def _pop_next_locked(self) -> Job | None:
+        """Next runnable job under deficit round-robin, or ``None``.
+
+        Each visit to a tenant grants it ``weight`` credit; one job costs
+        one credit.  A weight-2 tenant therefore drains two jobs per
+        round for every one of a weight-1 tenant, and an idle tenant's
+        credit resets (no banking while the queue is empty).  Within a
+        tenant the existing (priority, FIFO) heap order applies.
+        """
+        while self._queued:
+            order = self._tenant_order
+            tenant = order[self._rr_cursor % len(order)]
+            heap = self._tenant_heaps.get(tenant) or []
+            # drop entries finished while queued (lazy removal)
+            while heap and not heap[0][2]._queued:
+                heapq.heappop(heap)
+            if not heap:
+                self._deficits[tenant] = 0.0
+                self._rr_cursor += 1
+                continue
+            if self._deficits[tenant] < 1.0:
+                self._deficits[tenant] += self.tenant_weights.get(tenant, 1.0)
+                if self._deficits[tenant] < 1.0:
+                    self._rr_cursor += 1
+                continue
+            self._deficits[tenant] -= 1.0
+            _, _, job = heapq.heappop(heap)
+            self._dequeue_account_locked(job)
+            if self._deficits[tenant] < 1.0:
+                self._rr_cursor += 1
+            return job
+        return None
 
     # -- queries -----------------------------------------------------------
     def get(self, job_id: str) -> Job:
@@ -185,7 +370,7 @@ class MiningService:
 
     def queue_depth(self) -> int:
         with self._lock:
-            return sum(1 for _, _, j in self._heap if j.state is JobState.PENDING)
+            return self._queued
 
     def jobs_by_state(self) -> dict[str, int]:
         counts = {state.value: 0 for state in JobState}
@@ -194,8 +379,27 @@ class MiningService:
                 counts[job.state.value] += 1
         return counts
 
+    def tenant_stats(self) -> dict:
+        """Per-tenant submitted/terminal-state counts, pending depth, and
+        SLO weight — the router's balance decisions, observable."""
+        with self._lock:
+            out = {}
+            for tenant, counts in self._tenant_counts.items():
+                heap = self._tenant_heaps.get(tenant) or []
+                out[tenant] = {
+                    **counts,
+                    "pending": sum(1 for _, _, j in heap if j._queued),
+                    "weight": self.tenant_weights.get(tenant, 1.0),
+                }
+        return out
+
+    def healthz(self) -> dict:
+        """The ``GET /healthz`` payload."""
+        return {"status": "ok", "workers": len(self._workers)}
+
     def metrics(self) -> dict:
-        """The ``GET /metrics`` payload: queue, states, caches, recent jobs."""
+        """The ``GET /metrics`` payload: queue, states, caches, latency
+        histograms, per-tenant counts, recent jobs."""
         with self._lock:
             jobs = list(self._jobs.values())
         recent = []
@@ -209,11 +413,19 @@ class MiningService:
                 entry["trace_spans"] = len(trace.spans)
             recent.append(entry)
         return {
+            "name": self.name,
             "queue_depth": self.queue_depth(),
+            "queue_limit": self.queue_limit,
             "workers": len(self._workers),
             "jobs_submitted": self.jobs_submitted,
             "jobs_coalesced": self.jobs_coalesced,
+            "jobs_rejected": self.jobs_rejected,
             "jobs_by_state": self.jobs_by_state(),
+            "latency": {
+                "queue_wait": self.queue_wait_hist.snapshot(),
+                "run": self.run_time_hist.snapshot(),
+            },
+            "tenants": self.tenant_stats(),
             "dataset_cache": self.datasets.stats(),
             "result_cache": self.results.stats(),
             "context_pool": self.contexts.stats(),
@@ -227,12 +439,13 @@ class MiningService:
             if self._shutdown:
                 return
             self._shutdown = True
-            for _, _, job in self._heap:
-                if job.state is JobState.PENDING:
-                    self._finish_locked(
-                        job, JobState.CANCELLED, error="service shut down"
-                    )
-            self._heap.clear()
+            for heap in self._tenant_heaps.values():
+                for _, _, job in heap:
+                    if job.state is JobState.PENDING:
+                        self._finish_locked(
+                            job, JobState.CANCELLED, error="service shut down"
+                        )
+                heap.clear()
             self._queue_cond.notify_all()
         if wait:
             for w in self._workers:
@@ -249,15 +462,17 @@ class MiningService:
     def _worker_loop(self) -> None:
         while True:
             with self._queue_cond:
-                while not self._heap and not self._shutdown:
+                job = None
+                while not self._shutdown:
+                    job = self._pop_next_locked()
+                    if job is not None:
+                        break
                     self._queue_cond.wait()
                 if self._shutdown:
                     return
-                _, _, job = heapq.heappop(self._heap)
-                if job.state is not JobState.PENDING:
-                    continue  # cancelled while queued
                 job.state = JobState.RUNNING
                 job.started_s = time.monotonic()
+                self.queue_wait_hist.record(job.started_s - job.submitted_s)
             self._run_job(job)
 
     def _run_job(self, job: Job) -> None:
@@ -306,9 +521,14 @@ class MiningService:
             try:
                 txns = self.datasets.get(job.dataset_fingerprint)
                 if txns is None:
-                    raise ServeError(
-                        f"dataset {job.dataset_fingerprint[:12]} evicted before run"
-                    )
+                    # evicted while queued: run from the job's own pin and
+                    # re-warm the cache for followers and repeat traffic
+                    txns = job._txns
+                    if txns is None:
+                        raise ServeError(
+                            f"dataset {job.dataset_fingerprint[:12]} lost before run"
+                        )
+                    self.datasets.add(txns, job.dataset_fingerprint)
                 if get_algorithm(config.algorithm).needs_engine:
                     ctx = self.contexts.acquire(
                         config.backend, config.parallelism, label=job.job_id
@@ -363,12 +583,25 @@ class MiningService:
         and settle its followers."""
         if job.is_terminal:
             return
+        self._dequeue_account_locked(job)
+        job._txns = None
         job.state = state
         job.result = result
         job.error = error
         job.finished_s = time.monotonic()
+        if job.started_s is not None:
+            self.run_time_hist.record(job.finished_s - job.started_s)
+        counts = self._tenant_counts.setdefault(
+            job.request.tenant, {"submitted": 0}
+        )
+        counts[state.value] = counts.get(state.value, 0) + 1
         if via is not None:
             job.via = via
+        if self.on_job_finished is not None:
+            try:
+                self.on_job_finished(job)
+            except Exception:  # noqa: BLE001 - observers must not kill workers
+                pass
         key = job.result_key
         followers: list[Job] = []
         if self._inflight.get(key) is job:
@@ -398,10 +631,10 @@ class MiningService:
                 follower.via = "run"
                 follower.coalesced_with = None
                 self._inflight[key] = follower
-                heapq.heappush(
-                    self._heap, (follower.request.priority, next(self._seq), follower)
-                )
-                self._queue_cond.notify()
+                # Promotion bypasses admission control: the follower never
+                # held a queue slot, and it inherits the one its primary
+                # just freed.
+                self._enqueue_locked(follower)
                 break  # first follower becomes the new primary; rest re-attach
             else:
                 return

@@ -1,0 +1,266 @@
+"""Admission control, fair-share scheduling, and latency histograms."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.registry import (
+    MiningConfig,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.core.results import MiningRunResult
+from repro.serve import (
+    JobState,
+    LatencyHistogram,
+    MiningService,
+    RejectedError,
+    ServeError,
+)
+
+TXNS = [[1, 2, 3], [1, 2], [2, 3], [1, 3], [1, 2, 3]]
+CFG = MiningConfig(min_support=0.4, backend="serial")
+
+
+def _result(txns, config, n=1) -> MiningRunResult:
+    out = MiningRunResult(
+        algorithm=config.algorithm,
+        min_support=config.min_support,
+        n_transactions=len(txns),
+    )
+    out.itemsets = {(1,): n}
+    return out
+
+
+def _cfg(algo, tag=None):
+    options = {"tag": tag} if tag else {}
+    return MiningConfig(min_support=0.4, algorithm=algo, options=options)
+
+
+def wait_running(job, timeout: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout
+    while job.state is not JobState.RUNNING:
+        assert time.monotonic() < deadline, f"job never ran: {job.state}"
+        time.sleep(0.005)
+
+
+@pytest.fixture
+def gated_algo():
+    release = threading.Event()
+
+    def gated(txns, config):
+        release.wait(15.0)
+        return _result(txns, config)
+
+    register_algorithm("adm_gate_algo", gated, overwrite=True)
+    yield "adm_gate_algo", release
+    release.set()
+    unregister_algorithm("adm_gate_algo")
+
+
+@pytest.fixture
+def recorder_algo():
+    order = []
+
+    def recorder(txns, config):
+        order.append(config.options.get("tag"))
+        return _result(txns, config)
+
+    register_algorithm("adm_rec_algo", recorder, overwrite=True)
+    yield "adm_rec_algo", order
+    unregister_algorithm("adm_rec_algo")
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects_with_retry_hint(self, gated_algo):
+        algo, release = gated_algo
+        with MiningService(n_workers=1, queue_limit=1) as svc:
+            wait_running(svc.submit(TXNS, _cfg(algo)))
+            svc.submit(TXNS, _cfg(algo, "fills-the-slot"))
+            with pytest.raises(RejectedError) as exc:
+                svc.submit(TXNS, _cfg(algo, "one-too-many"))
+            err = exc.value
+            assert err.retry_after_s > 0
+            assert err.scope == "shard"
+            assert err.queue_depth == 1 and err.queue_limit == 1
+            assert err.payload()["rejected"] is True
+            assert svc.metrics()["jobs_rejected"] == 1
+            release.set()
+
+    def test_unbounded_by_default(self, gated_algo):
+        algo, release = gated_algo
+        with MiningService(n_workers=1) as svc:
+            wait_running(svc.submit(TXNS, _cfg(algo)))
+            for i in range(50):
+                svc.submit(TXNS, _cfg(algo, f"q{i}"))
+            assert svc.queue_depth() == 50
+            release.set()
+
+    def test_rejected_job_leaves_no_ghost_inflight(self, gated_algo):
+        algo, release = gated_algo
+        with MiningService(n_workers=1, queue_limit=1) as svc:
+            wait_running(svc.submit(TXNS, _cfg(algo)))
+            fill = svc.submit(TXNS, _cfg(algo, "fill"))
+            rejected_cfg = _cfg(algo, "rejected")
+            with pytest.raises(RejectedError):
+                svc.submit(TXNS, rejected_cfg)
+            release.set()
+            svc.wait(fill.job_id, 30)  # queue drained
+            # the rejected key must not have an inflight primary to coalesce
+            # onto — resubmitting it runs fresh
+            retry = svc.submit(TXNS, rejected_cfg)
+            assert retry.via == "run"
+            assert svc.wait(retry.job_id, 30).state is JobState.DONE
+
+    def test_memoized_hit_bypasses_admission(self, gated_algo):
+        algo, release = gated_algo
+        with MiningService(n_workers=1, queue_limit=1) as svc:
+            done = svc.submit(TXNS, CFG)
+            svc.wait(done.job_id, 30)
+            wait_running(svc.submit(TXNS, _cfg(algo)))
+            svc.submit(TXNS, _cfg(algo, "fill"))
+            # queue is full, but this needs no queue slot
+            hit = svc.submit(TXNS, CFG)
+            assert hit.via == "memoized" and hit.state is JobState.DONE
+            release.set()
+
+    def test_coalesced_follower_bypasses_admission(self, gated_algo):
+        algo, release = gated_algo
+        with MiningService(n_workers=1, queue_limit=1) as svc:
+            primary = svc.submit(TXNS, _cfg(algo))
+            wait_running(primary)
+            svc.submit(TXNS, _cfg(algo, "fill"))
+            follower = svc.submit(TXNS, _cfg(algo))  # identical to primary
+            assert follower.via == "coalesced"
+            assert follower.coalesced_with == primary.job_id
+            release.set()
+            assert svc.wait(follower.job_id, 30).state is JobState.DONE
+
+    def test_promoted_follower_bypasses_admission(self, gated_algo):
+        algo, release = gated_algo
+        with MiningService(n_workers=1, queue_limit=1) as svc:
+            primary = svc.submit(TXNS, _cfg(algo))
+            wait_running(primary)
+            follower = svc.submit(TXNS, _cfg(algo))
+            assert follower.via == "coalesced"
+            filler = svc.submit(TXNS, _cfg(algo, "fill"))  # queue now full
+            # cancelling the primary promotes the follower; the promotion
+            # inherits the primary's capacity instead of being re-admitted
+            svc.cancel(primary.job_id)
+            release.set()
+            assert svc.wait(follower.job_id, 30).state is JobState.DONE
+            assert svc.wait(filler.job_id, 30).state is JobState.DONE
+
+    def test_queue_limit_validation(self):
+        with pytest.raises(ServeError, match="queue_limit"):
+            MiningService(n_workers=1, queue_limit=0)
+
+
+class TestFairShare:
+    def test_equal_weights_alternate(self, gated_algo, recorder_algo):
+        gate, release = gated_algo
+        rec, order = recorder_algo
+        with MiningService(n_workers=1) as svc:
+            wait_running(svc.submit(TXNS, _cfg(gate)))
+            jobs = []
+            for i in range(4):
+                jobs.append(svc.submit(TXNS, _cfg(rec, f"a{i}"), tenant="a"))
+            for i in range(4):
+                jobs.append(svc.submit(TXNS, _cfg(rec, f"b{i}"), tenant="b"))
+            release.set()
+            for job in jobs:
+                assert svc.wait(job.job_id, 30).state is JobState.DONE
+        tenants = [tag[0] for tag in order]
+        # deficit round-robin with equal weights: strict alternation, so
+        # tenant b is never starved behind a's earlier-submitted backlog
+        assert tenants == ["a", "b", "a", "b", "a", "b", "a", "b"]
+
+    def test_weighted_tenant_gets_proportional_share(
+        self, gated_algo, recorder_algo
+    ):
+        gate, release = gated_algo
+        rec, order = recorder_algo
+        with MiningService(n_workers=1, tenant_weights={"a": 2.0}) as svc:
+            wait_running(svc.submit(TXNS, _cfg(gate)))
+            jobs = []
+            for i in range(4):
+                jobs.append(svc.submit(TXNS, _cfg(rec, f"a{i}"), tenant="a"))
+            for i in range(4):
+                jobs.append(svc.submit(TXNS, _cfg(rec, f"b{i}"), tenant="b"))
+            release.set()
+            for job in jobs:
+                assert svc.wait(job.job_id, 30).state is JobState.DONE
+        tenants = [tag[0] for tag in order]
+        # weight 2 drains two jobs per round for tenant b's one
+        assert tenants[:6] == ["a", "a", "b", "a", "a", "b"]
+
+    def test_priority_still_orders_within_tenant(self, gated_algo, recorder_algo):
+        gate, release = gated_algo
+        rec, order = recorder_algo
+        with MiningService(n_workers=1) as svc:
+            wait_running(svc.submit(TXNS, _cfg(gate)))
+            low = svc.submit(TXNS, _cfg(rec, "low"), tenant="a", priority=5)
+            high = svc.submit(TXNS, _cfg(rec, "high"), tenant="a", priority=-5)
+            release.set()
+            for job in (low, high):
+                assert svc.wait(job.job_id, 30).state is JobState.DONE
+        assert order == ["high", "low"]
+
+    def test_tenant_weight_validation(self):
+        with pytest.raises(ServeError, match="weight"):
+            MiningService(n_workers=1, tenant_weights={"a": 0.0})
+
+    def test_tenant_stats_and_metrics(self, recorder_algo):
+        rec, _ = recorder_algo
+        with MiningService(n_workers=1, tenant_weights={"a": 2.0}) as svc:
+            for i in range(2):
+                svc.wait(svc.submit(TXNS, _cfg(rec, f"a{i}"), tenant="a").job_id, 30)
+            svc.wait(svc.submit(TXNS, _cfg(rec, "b0"), tenant="b").job_id, 30)
+            stats = svc.tenant_stats()
+            assert stats["a"]["submitted"] == 2 and stats["a"]["done"] == 2
+            assert stats["a"]["weight"] == 2.0
+            assert stats["b"]["submitted"] == 1 and stats["b"]["weight"] == 1.0
+            assert svc.metrics()["tenants"] == stats
+
+    def test_rejects_bad_tenant(self):
+        with MiningService(n_workers=1) as svc:
+            with pytest.raises(ServeError, match="tenant"):
+                svc.submit(TXNS, CFG, tenant="")
+
+
+class TestLatencyHistogram:
+    def test_empty_snapshot(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap["count"] == 0 and snap["p50_s"] == 0.0
+
+    def test_percentile_ordering(self):
+        hist = LatencyHistogram()
+        for ms in range(1, 101):
+            hist.record(ms / 1000.0)
+        snap = hist.snapshot()
+        assert snap["count"] == 100
+        assert snap["p50_s"] <= snap["p95_s"] <= snap["p99_s"] <= snap["max_s"]
+        assert snap["p50_s"] == pytest.approx(0.050, abs=0.005)
+        assert snap["p99_s"] == pytest.approx(0.099, abs=0.005)
+
+    def test_window_bounded_but_count_lifetime(self):
+        hist = LatencyHistogram(max_samples=8)
+        for i in range(100):
+            hist.record(float(i))
+        snap = hist.snapshot()
+        assert snap["count"] == 100  # lifetime
+        assert snap["p50_s"] >= 92.0  # percentile over the recent window
+
+    def test_service_records_queue_wait_and_run_time(self):
+        with MiningService(n_workers=1) as svc:
+            for support in (0.3, 0.4):
+                cfg = MiningConfig(min_support=support, backend="serial")
+                svc.wait(svc.submit(TXNS, cfg).job_id, 30)
+            m = svc.metrics()["latency"]
+            assert m["queue_wait"]["count"] == 2
+            assert m["run"]["count"] == 2
+            assert m["run"]["p50_s"] <= m["run"]["p99_s"]
+            # memoized hits never enter the queue, so no new samples
+            svc.submit(TXNS, MiningConfig(min_support=0.3, backend="serial"))
+            assert svc.metrics()["latency"]["queue_wait"]["count"] == 2

@@ -206,3 +206,140 @@ class TestMiningConfigCacheKey:
 
         cfg = MiningConfig(min_support=0.5, algorithm="eclat", options={"k": True})
         assert json.loads(json.dumps(cfg.canonical())) == cfg.canonical()
+
+
+class TestDatasetCachePrecomputedFingerprint:
+    def test_add_accepts_precomputed_fingerprint(self):
+        # the router fingerprints once for ring placement; add() must not
+        # redo the sha256 pass — and must file under the supplied key
+        cache = DatasetCache(1 << 20)
+        txns = [[1, 2], [2, 3]]
+        fp = dataset_fingerprint(txns)
+        assert cache.add(txns, fingerprint=fp) == fp
+        assert cache.get(fp) == txns
+
+
+class TestCachesUnderConcurrentLoad:
+    """Satellite coverage: TTL expiry and LRU eviction while a service is
+    actively submitting — the counters and bounds must hold under races."""
+
+    def _service(self, **kwargs):
+        from repro.serve import MiningService
+
+        return MiningService(n_workers=2, **kwargs)
+
+    def test_result_ttl_expiry_under_concurrent_resubmits(self):
+        import threading
+        import time
+
+        from repro.core.registry import MiningConfig
+
+        txns = [[1, 2, 3], [1, 2], [2, 3]]
+        cfg = MiningConfig(min_support=0.4, backend="serial")
+        with self._service(result_ttl_s=0.05) as svc:
+            svc.wait(svc.submit(txns, cfg).job_id, 30)
+            time.sleep(0.1)  # let the memoized entry expire
+            vias = []
+            lock = threading.Lock()
+
+            def resubmit():
+                job = svc.submit(txns, cfg)
+                svc.wait(job.job_id, 30)
+                with lock:
+                    vias.append(job.via)
+
+            threads = [threading.Thread(target=resubmit) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30)
+            # the expired entry forces exactly one fresh run; everyone else
+            # either coalesces onto it or memoizes its (fresh) result
+            assert vias.count("run") == 1, vias
+            assert set(vias) <= {"run", "coalesced", "memoized"}
+            assert svc.results.expirations >= 1
+
+    def test_dataset_cache_lru_eviction_under_concurrent_submits(self):
+        import threading
+
+        from repro.core.registry import MiningConfig
+
+        datasets = [
+            [[seed, seed + 1, seed + 2], [seed, seed + 1], [seed + 500]]
+            for seed in range(0, 160, 10)
+        ]
+        cfg = MiningConfig(min_support=0.4, backend="serial")
+        # a budget of ~6 of the 16 datasets: eviction must fire while
+        # jobs stream in, without corrupting or failing any job — a job
+        # whose dataset is evicted while queued runs from its own pin
+        with self._service(dataset_cache_bytes=256) as svc:
+            results = {}
+            lock = threading.Lock()
+
+            def mine_one(i, txns):
+                job = svc.submit(txns, cfg)
+                svc.wait(job.job_id, 60)
+                with lock:
+                    results[i] = job
+
+            threads = [
+                threading.Thread(target=mine_one, args=(i, d))
+                for i, d in enumerate(datasets)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60)
+            assert len(results) == len(datasets)
+            assert all(j.state.value == "done" for j in results.values())
+            stats = svc.datasets.stats()
+            assert stats["evictions"] > 0
+            assert stats["entries"] < len(datasets)
+            assert stats["bytes"] <= 256
+
+    def test_queued_job_survives_dataset_eviction(self):
+        import threading
+
+        from repro.core.registry import (
+            MiningConfig,
+            register_algorithm,
+            unregister_algorithm,
+        )
+        from repro.core.results import MiningRunResult
+        from repro.serve import JobState
+
+        release = threading.Event()
+
+        def gated(txns, config):
+            release.wait(15.0)
+            out = MiningRunResult(
+                algorithm=config.algorithm,
+                min_support=config.min_support,
+                n_transactions=len(txns),
+            )
+            out.itemsets = {(1,): len(txns)}
+            return out
+
+        register_algorithm("cache_gate_algo", gated, overwrite=True)
+        try:
+            from repro.serve import MiningService
+
+            cfg = MiningConfig(min_support=0.4, algorithm="cache_gate_algo")
+            with MiningService(n_workers=1, dataset_cache_bytes=256) as svc:
+                gate = svc.submit([[1, 2], [2, 3]], cfg)
+                queued = svc.submit([[7, 8], [8, 9], [9, 10]], cfg)
+                # push the queued job's dataset out of the byte budget
+                for seed in range(1000, 1160, 10):
+                    svc.datasets.add([[seed, seed + 1], [seed + 2]])
+                assert svc.datasets.get(queued.dataset_fingerprint) is None
+                release.set()
+                for job in (gate, queued):
+                    assert svc.wait(job.job_id, 30).state is JobState.DONE
+                assert queued.result.itemsets == {(1,): 3}
+                # the run re-warmed the cache from the pin, then the pin
+                # was dropped at completion
+                assert svc.datasets.get(queued.dataset_fingerprint) is not None
+                assert queued._txns is None
+        finally:
+            release.set()
+            unregister_algorithm("cache_gate_algo")

@@ -167,3 +167,175 @@ class TestPayloadHelpers:
             assert payload["num_itemsets"] == job.result.num_itemsets
             assert itemsets_from_payload(payload) == job.result.itemsets
             LocalClient(svc).result(job.job_id)  # same itemsets via client
+
+
+class TestShardedServer:
+    """MiningServer with shards>1 / planner: the router behind HTTP."""
+
+    @pytest.fixture(scope="class")
+    def sharded(self):
+        with MiningServer(port=0, shards=2, n_workers=1, planner=True) as srv:
+            yield srv
+
+    @pytest.fixture(scope="class")
+    def sharded_client(self, sharded):
+        return HttpClient(sharded.url, poll_interval_s=0.01)
+
+    def test_healthz_reports_shards(self, sharded_client):
+        h = sharded_client.healthz()
+        assert h["shards"] == 2 and h["workers"] == 2
+
+    def test_tenant_round_trips(self, sharded_client):
+        snap = sharded_client.submit(TXNS, CFG, tenant="acme")
+        final = sharded_client.wait(snap["job_id"], timeout=30.0)
+        assert final["tenant"] == "acme"
+        assert final["state"] == "done"
+
+    def test_planned_knobs_in_snapshot(self, sharded_client):
+        # all-default engine knobs -> nothing pinned, planner fills them
+        snap = sharded_client.submit(
+            [[7, 8, 9], [7, 8], [8, 9]], MiningConfig(min_support=0.4)
+        )
+        final = sharded_client.wait(snap["job_id"], timeout=30.0)
+        assert final["planned"] and "backend" in final["planned"]
+
+    def test_pinned_freezes_default_valued_knob(self, sharded_client):
+        snap = sharded_client.submit(
+            [[4, 5, 6], [4, 5], [5, 6]],
+            MiningConfig(min_support=0.4),  # all-default engine knobs
+            pinned=["backend", "num_partitions", "candidate_store"],
+        )
+        final = sharded_client.wait(snap["job_id"], timeout=30.0)
+        assert final["planned"] == {}
+
+    def test_jobs_route_to_distinct_shards(self, sharded, sharded_client):
+        router = sharded.service  # in-process: probe the ring directly
+        wanted, seed = {}, 0
+        while len(wanted) < 2:
+            seed += 1
+            txns = [[seed, seed + 1], [seed, seed + 2], [seed + 3000]]
+            wanted.setdefault(router.home_shard(txns), txns)
+        shards_seen = set()
+        for txns in wanted.values():
+            snap = sharded_client.submit(txns, CFG)
+            final = sharded_client.wait(snap["job_id"], timeout=30.0)
+            shards_seen.add(final["shard"])
+        assert shards_seen == {"shard-0", "shard-1"}
+
+    def test_metrics_exposes_router_and_per_shard_blocks(self, sharded_client):
+        m = sharded_client.metrics()
+        assert {"router", "ring", "shards", "planner"} <= set(m)
+        assert len(m["shards"]) == 2
+        assert {"jobs_home", "service"} <= set(m["shards"][0])
+        assert "latency" in m["shards"][0]["service"]
+
+    def test_unknown_top_level_field_is_400(self, sharded_client):
+        with pytest.raises(ServeError, match="unknown field.*priorty"):
+            sharded_client._request(
+                "POST", "/jobs",
+                {"transactions": TXNS, "config": {"min_support": 0.4},
+                 "priorty": 3},
+            )
+
+
+class TestAdmissionOverHttp:
+    def test_429_with_retry_after_and_mine_recovers(self):
+        import threading
+        import time
+
+        from repro.core.registry import register_algorithm, unregister_algorithm
+        from repro.core.results import MiningRunResult
+        from repro.serve import RejectedError
+
+        release = threading.Event()
+
+        def gated(txns, config):
+            release.wait(15.0)
+            out = MiningRunResult(
+                algorithm=config.algorithm,
+                min_support=config.min_support,
+                n_transactions=len(txns),
+            )
+            out.itemsets = {(1,): 1}
+            return out
+
+        register_algorithm("http_gate_algo", gated, overwrite=True)
+        try:
+            with MiningServer(port=0, n_workers=1, queue_limit=1) as srv:
+                client = HttpClient(srv.url, poll_interval_s=0.01)
+                gate_cfg = {"min_support": 0.4, "algorithm": "http_gate_algo"}
+                first = client.submit(TXNS, gate_cfg)
+                deadline = time.monotonic() + 10.0
+                while client.status(first["job_id"])["state"] != "running":
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                fill_cfg = {"min_support": 0.4, "algorithm": "http_gate_algo",
+                            "options": {"tag": "fill"}}
+                client.submit(TXNS, fill_cfg)
+                over_cfg = {"min_support": 0.4, "algorithm": "http_gate_algo",
+                            "options": {"tag": "over"}}
+                with pytest.raises(RejectedError) as exc:
+                    client.submit(TXNS, over_cfg)
+                err = exc.value
+                assert err.retry_after_s > 0
+                assert err.queue_depth == 1 and err.queue_limit == 1
+                # mine() backs off on 429 and resubmits once space frees up
+                done = threading.Event()
+                mined = {}
+
+                def mine_over():
+                    mined["itemsets"] = client.mine(TXNS, over_cfg, timeout=30.0)
+                    done.set()
+
+                t = threading.Thread(target=mine_over)
+                t.start()
+                time.sleep(0.2)  # let it hit at least one 429
+                release.set()
+                assert done.wait(30.0), "mine() never recovered from 429"
+                t.join(5.0)
+                assert mined["itemsets"] == {(1,): 1}
+        finally:
+            release.set()
+            unregister_algorithm("http_gate_algo")
+
+
+class TestClientConnectRetry:
+    def test_gives_up_after_retries(self):
+        import time
+
+        client = HttpClient(
+            "http://127.0.0.1:9",  # discard port: connection refused
+            connect_retries=2, retry_backoff_s=0.02,
+        )
+        t0 = time.monotonic()
+        with pytest.raises(ServeError, match="cannot reach"):
+            client.healthz()
+        # two backoffs happened (0.02 + 0.04) before giving up
+        assert time.monotonic() - t0 >= 0.06
+
+    def test_retries_through_server_startup(self):
+        import socket
+        import threading
+        import time
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        started = {}
+
+        def late_start():
+            time.sleep(0.3)
+            started["server"] = MiningServer(port=port, n_workers=1).start()
+
+        t = threading.Thread(target=late_start)
+        t.start()
+        try:
+            client = HttpClient(
+                f"http://127.0.0.1:{port}",
+                connect_retries=6, retry_backoff_s=0.1,
+            )
+            assert client.healthz()["status"] == "ok"  # refused, then served
+        finally:
+            t.join(5.0)
+            if "server" in started:
+                started["server"].close()

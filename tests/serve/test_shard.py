@@ -1,0 +1,93 @@
+"""Consistent-hash ring: determinism, balance, stability under membership."""
+
+import pytest
+
+from repro.serve import HashRing, ServeError
+from repro.serve.shard import _ring_hash
+
+KEYS = [f"fingerprint-{i}" for i in range(400)]
+
+
+class TestRingHash:
+    def test_stable_across_calls(self):
+        assert _ring_hash("abc") == _ring_hash("abc")
+
+    def test_64_bit_range(self):
+        assert 0 <= _ring_hash("abc") < 2**64
+
+    def test_not_python_hash(self):
+        # Python hash() is salted per process; a ring built on it would
+        # re-home every dataset on restart
+        assert _ring_hash("abc") != hash("abc")
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        a = HashRing(["s0", "s1", "s2"])
+        b = HashRing(["s2", "s0", "s1"])  # insertion order must not matter
+        assert [a.node_for(k) for k in KEYS] == [b.node_for(k) for k in KEYS]
+
+    def test_all_nodes_receive_keys(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        homes = {ring.node_for(k) for k in KEYS}
+        assert homes == {"s0", "s1", "s2", "s3"}
+
+    def test_balance_with_virtual_nodes(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"], replicas=64)
+        counts = {n: 0 for n in ring.nodes}
+        for k in KEYS:
+            counts[ring.node_for(k)] += 1
+        # virtual nodes keep the spread within a loose factor of fair share
+        fair = len(KEYS) / len(counts)
+        assert all(fair / 3 <= c <= fair * 3 for c in counts.values()), counts
+
+    def test_remove_only_moves_removed_nodes_keys(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.remove("s2")
+        for k, home in before.items():
+            if home != "s2":
+                assert ring.node_for(k) == home  # unaffected keys stay put
+            else:
+                assert ring.node_for(k) != "s2"
+
+    def test_add_only_steals_some_keys(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.add("s3")
+        moved = sum(1 for k in KEYS if ring.node_for(k) != before[k])
+        # the new node takes roughly 1/4; far less than a full reshuffle
+        assert 0 < moved < len(KEYS) / 2
+        assert all(
+            ring.node_for(k) in (before[k], "s3") for k in KEYS
+        ), "keys moved to a node other than the new one"
+
+    def test_preference_starts_at_home_and_is_distinct(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        for k in KEYS[:50]:
+            pref = ring.preference(k)
+            assert pref[0] == ring.node_for(k)
+            assert sorted(pref) == ring.nodes  # every node exactly once
+
+    def test_preference_n_truncates(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        assert len(ring.preference("k", n=2)) == 2
+        assert len(ring.preference("k", n=99)) == 4
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing(["s0"])
+        ring.add("s0")
+        assert len(ring) == 1
+        ring.remove("nope")
+        assert len(ring) == 1
+
+    def test_empty_ring_raises(self):
+        ring = HashRing()
+        with pytest.raises(ServeError, match="empty"):
+            ring.node_for("k")
+        with pytest.raises(ServeError, match="empty"):
+            ring.preference("k")
+
+    def test_rejects_bad_replicas(self):
+        with pytest.raises(ServeError, match="replicas"):
+            HashRing(["s0"], replicas=0)

@@ -117,6 +117,10 @@ def cmd_mine(args) -> int:
             parallelism=args.parallelism,
             num_partitions=args.num_partitions,
             candidate_store=args.candidate_store,
+            approx=args.approx,
+            approx_samples=args.approx_samples,
+            approx_ratio=args.approx_ratio,
+            sample_frac=args.sample_frac,
             options=_fastpath_options(args),
         ),
     )
@@ -229,6 +233,10 @@ def cmd_submit(args) -> int:
             parallelism=args.parallelism,
             num_partitions=args.num_partitions,
             candidate_store=args.candidate_store,
+            approx=args.approx,
+            approx_samples=args.approx_samples,
+            approx_ratio=args.approx_ratio,
+            sample_frac=args.sample_frac,
             options=_fastpath_options(args),
         ),
         priority=args.priority,
@@ -252,6 +260,17 @@ def cmd_submit(args) -> int:
         f"(minsup={payload['min_support']:g}, |D|={payload['n_transactions']}, "
         f"via={payload['via']}, run={final.get('run_seconds')}s)"
     )
+    approx = payload.get("approx")
+    if approx:
+        tag = (
+            "verified exact" if approx["verified_exact"]
+            else f"{len(approx['border_violations'])} border violation(s)"
+        )
+        print(
+            f"  approx: {approx['n_samples']} samples x {approx['sample_frac']:g} "
+            f"at r={approx['ratio']:g}, {approx['candidates_verified']} "
+            f"candidates verified -> {tag}"
+        )
     shown = sorted(itemsets.items(), key=lambda kv: (-kv[1], kv[0]))
     for itemset, count in shown[: args.top]:
         print(f"  {' '.join(map(str, itemset)):40s} {count}")
@@ -305,6 +324,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--num-partitions", type=int, default=None,
             help="partitions for the transaction RDD and shuffles",
+        )
+        p.add_argument(
+            "--approx", action="store_true",
+            help="sampling fast tier: mine relaxed-threshold samples in "
+            "parallel, verify candidates in one exact full-data pass",
+        )
+        p.add_argument(
+            "--approx-samples", type=int, default=4,
+            help="independent samples the fast tier mines (n_p)",
+        )
+        p.add_argument(
+            "--approx-ratio", type=float, default=0.8,
+            help="threshold relaxation r: samples mine at r * support",
+        )
+        p.add_argument(
+            "--sample-frac", type=float, default=0.1,
+            help="fraction of the database each sample draws",
         )
         p.add_argument("--top", type=int, default=15, help="itemsets/rules to print")
 

@@ -303,6 +303,81 @@ def _set_bit_run(buf: bytearray, pos: int, width: int) -> None:
         buf[last_byte] |= (1 << last_bit) - 1
 
 
+def build_tid_bitmaps(
+    partition, relevant, *, min_items: int = 1, weighted: bool = False
+) -> dict:
+    """Vertical build: item -> little-endian tid-bitmap int over ``partition``.
+
+    Bit ``t`` of ``bitmaps[item]`` is set when logical transaction ``t``
+    contains ``item``; a weighted ``(txn, weight)`` record occupies a run
+    of ``weight`` consecutive tid positions.  Rows with fewer than
+    ``min_items`` relevant items get no tid run — they cannot support any
+    candidate of that many items, so skipping them keeps the bitmaps
+    short without changing any intersection count.
+
+    Factored out of :meth:`BitmapStore.count_partition` so several
+    per-length stores counting the same partition (the approximate
+    miner's one-pass verification) can share ONE build over the union of
+    their items instead of each re-scanning the rows.
+    """
+    buffers: dict = {}
+    pos = 0
+    for record in partition:
+        if weighted:
+            txn, weight = record
+        else:
+            txn, weight = record, 1
+        items = set(txn) & relevant
+        if len(items) < min_items:
+            continue  # supports no candidate: assign it no tid run
+        end = pos + weight
+        need = (end + 7) >> 3
+        for item in items:
+            buf = buffers.get(item)
+            if buf is None:
+                buffers[item] = buf = bytearray(need)
+            elif len(buf) < need:
+                buf.extend(b"\x00" * (need - len(buf)))
+            _set_bit_run(buf, pos, weight)
+        pos = end
+    if not buffers:
+        return {}
+    width = (pos + 7) >> 3
+    return {
+        item: int.from_bytes(
+            buf if len(buf) == width else buf + b"\x00" * (width - len(buf)),
+            "little",
+        )
+        for item, buf in buffers.items()
+    }
+
+
+def shared_bitmap_counts(stores, partition, weighted: bool = False) -> dict | None:
+    """Count several :class:`BitmapStore` instances over one partition
+    with a single shared vertical build.
+
+    Returns the merged candidate counts, or ``None`` when fewer than two
+    of ``stores`` are bitmap stores (no build worth sharing — callers
+    fall back to per-store counting).  Non-bitmap stores in ``stores``
+    are ignored; count those separately.
+    """
+    bitmap_stores = [
+        s for s in stores if isinstance(s, BitmapStore) and s.k is not None
+    ]
+    if len(bitmap_stores) < 2:
+        return None
+    rows = partition if isinstance(partition, list) else list(partition)
+    relevant = set().union(*(s._items for s in bitmap_stores))
+    min_k = min(s.k for s in bitmap_stores)
+    bitmaps = build_tid_bitmaps(
+        rows, relevant, min_items=min_k, weighted=weighted
+    )
+    counts: dict = {}
+    for store in bitmap_stores:
+        counts.update(store.count_partition(rows, weighted, bitmaps=bitmaps))
+    return counts
+
+
 class BitmapStore(CandidateStore):
     """Vertical tid-bitmap counting kernel (the RDD-Eclat speedup).
 
@@ -354,42 +429,22 @@ class BitmapStore(CandidateStore):
             if issuperset(cset):
                 counts[cand] = get(cand, 0) + weight
 
-    def count_partition(self, partition, weighted: bool = False) -> dict:
+    def count_partition(
+        self, partition, weighted: bool = False, *, bitmaps: dict | None = None
+    ) -> dict:
+        """Counts via the vertical kernel; ``bitmaps`` optionally supplies
+        a prebuilt :func:`build_tid_bitmaps` result (it must cover this
+        store's items over the same rows), skipping the build — see
+        :func:`shared_bitmap_counts`."""
         k = self.k
         if k is None or not self._order:
             return {}
-        # ---- vertical build: item -> little-endian tid-bit buffer --------
-        relevant = self._items
-        buffers: dict = {}
-        pos = 0
-        for record in partition:
-            if weighted:
-                txn, weight = record
-            else:
-                txn, weight = record, 1
-            items = set(txn) & relevant
-            if len(items) < k:
-                continue  # supports no candidate: assign it no tid run
-            end = pos + weight
-            need = (end + 7) >> 3
-            for item in items:
-                buf = buffers.get(item)
-                if buf is None:
-                    buffers[item] = buf = bytearray(need)
-                elif len(buf) < need:
-                    buf.extend(b"\x00" * (need - len(buf)))
-                _set_bit_run(buf, pos, weight)
-            pos = end
-        if not buffers:
-            return {}
-        width = (pos + 7) >> 3
-        bitmaps = {
-            item: int.from_bytes(
-                buf if len(buf) == width else buf + b"\x00" * (width - len(buf)),
-                "little",
+        if bitmaps is None:
+            bitmaps = build_tid_bitmaps(
+                partition, self._items, min_items=k, weighted=weighted
             )
-            for item, buf in buffers.items()
-        }
+        if not bitmaps:
+            return {}
         # ---- intersect candidates, sharing prefixes via a stack ----------
         if self._sorted is None:
             self._sorted = sorted(self._order)
@@ -508,9 +563,11 @@ __all__ = [
     "FlatDictStore",
     "LinearStore",
     "TrieStore",
+    "build_tid_bitmaps",
     "get_store",
     "make_store",
     "register_store",
+    "shared_bitmap_counts",
     "store_names",
     "unregister_store",
 ]

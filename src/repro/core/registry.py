@@ -37,7 +37,7 @@ from __future__ import annotations
 import hashlib
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence
 
 from repro.common.errors import MiningError
@@ -60,12 +60,31 @@ class MiningConfig:
     parallelism: int | None = None
     num_partitions: int | None = None
     candidate_store: str = "hashtree"
+    #: approximate fast tier (repro.core.approx): when True the run is
+    #: dispatched to the multi-sample miner instead of ``algorithm``;
+    #: the three knobs below shape it (samples, relaxation r, sample size)
+    approx: bool = False
+    approx_samples: int = 4
+    approx_ratio: float = 0.8
+    sample_frac: float = 0.1
     options: dict = field(default_factory=dict)
 
     def __post_init__(self):
         if not 0.0 < self.min_support <= 1.0:
             raise MiningError(
                 f"min_support must be in (0, 1], got {self.min_support}"
+            )
+        if self.approx_samples < 1:
+            raise MiningError(
+                f"approx_samples must be >= 1, got {self.approx_samples}"
+            )
+        if not 0.0 < self.approx_ratio <= 1.0:
+            raise MiningError(
+                f"approx_ratio must be in (0, 1], got {self.approx_ratio}"
+            )
+        if not 0.0 < self.sample_frac <= 1.0:
+            raise MiningError(
+                f"sample_frac must be in (0, 1], got {self.sample_frac}"
             )
         # Mirror make_executor's named-backends pattern: an unknown store
         # name fails at config construction with the registered choices,
@@ -80,8 +99,15 @@ class MiningConfig:
 
     def canonical(self) -> dict:
         """JSON-safe dict with deterministic ordering — the serialized form
-        used by :meth:`cache_key`, the serving API, and bench reports."""
-        return {
+        used by :meth:`cache_key`, the serving API, and bench reports.
+
+        The sampling knobs only appear when ``approx=True`` — they are
+        inert on an exact run, so an exact config keys identically no
+        matter what leftover approx knobs it carries.  That invariance is
+        what makes :meth:`exact_twin` keys line up with plain exact
+        submissions in the result cache.
+        """
+        data = {
             "min_support": self.min_support,
             "algorithm": self.algorithm,
             "max_length": self.max_length,
@@ -89,8 +115,14 @@ class MiningConfig:
             "parallelism": self.parallelism,
             "num_partitions": self.num_partitions,
             "candidate_store": self.candidate_store,
+            "approx": self.approx,
             "options": {str(k): self.options[k] for k in sorted(self.options, key=str)},
         }
+        if self.approx:
+            data["approx_samples"] = self.approx_samples
+            data["approx_ratio"] = self.approx_ratio
+            data["sample_frac"] = self.sample_frac
+        return data
 
     def cache_key(self) -> str:
         """Stable content hash of this config (hex sha256).
@@ -105,6 +137,19 @@ class MiningConfig:
             self.canonical(), sort_keys=True, separators=(",", ":"), default=repr
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def exact_twin(self) -> "MiningConfig":
+        """This config with the approximate tier stripped.
+
+        Because :meth:`canonical` omits the sampling knobs on exact
+        configs, the twin's :meth:`cache_key` equals the key of a plain
+        exact submission — that equality is what lets the result cache
+        answer an approx request from an exact entry and upgrade approx
+        entries when the exact run lands.
+        """
+        return replace(
+            self, approx=False, approx_samples=4, approx_ratio=0.8, sample_frac=0.1
+        )
 
 
 @dataclass(frozen=True)
@@ -183,14 +228,24 @@ def run_algorithm(
     """
     spec = get_algorithm(config.algorithm)
     txns = transactions if isinstance(transactions, list) else list(transactions)
-    if not spec.needs_engine:
+    if config.approx:
+        # The approximate fast tier is engine-backed and replaces the
+        # configured algorithm wholesale (repro.core.approx); the
+        # algorithm name still shapes the cache key, tying this run to
+        # its exact twin for memoization upgrades.
+        from repro.core.approx import run_approx
+
+        runner = run_approx
+    elif not spec.needs_engine:
         return spec.runner(txns, config)
+    else:
+        runner = spec.runner
 
     from repro.engine.context import Context
     from repro.engine.tracing import collect_engine_metrics
 
     if ctx is not None:
-        result = spec.runner(ctx, txns, config)
+        result = runner(ctx, txns, config)
         if result.trace is None:
             result.trace = ctx.tracer
         if result.engine_metrics is None:
@@ -198,7 +253,7 @@ def run_algorithm(
         return result
 
     with Context(backend=config.backend, parallelism=config.parallelism) as ctx:
-        result = spec.runner(ctx, txns, config)
+        result = runner(ctx, txns, config)
         if result.trace is None:
             result.trace = ctx.tracer
         if result.engine_metrics is None:

@@ -12,8 +12,10 @@ negative border from :mod:`repro.core.summaries`:
    family is provably complete; otherwise the sample missed patterns —
    resample and repeat.
 
-The exact counting pass reuses the paper's hash-tree machinery (one tree
-per candidate length).
+The exact counting pass goes through the pluggable
+:mod:`repro.core.candidatestore` registry (one store per candidate
+length) — ``candidate_store="bitmap"`` swaps the hash-tree walk for the
+vertical tid-bitmap kernel.
 """
 
 from __future__ import annotations
@@ -27,7 +29,7 @@ from repro.algorithms.fpgrowth import fpgrowth
 from repro.common.errors import MiningError
 from repro.common.itemset import Itemset, min_support_count
 from repro.common.rng import make_rng
-from repro.core.hashtree import HashTree
+from repro.core.candidatestore import make_store
 from repro.core.summaries import negative_border
 
 
@@ -44,22 +46,35 @@ class ToivonenResult:
         return len(self.itemsets)
 
 
-def count_exact(transactions: list[Itemset], candidates: Iterable[Itemset]) -> dict:
-    """One full pass: exact support counts of arbitrary-length candidates."""
+def count_exact(
+    transactions: list[Itemset],
+    candidates: Iterable[Itemset],
+    candidate_store: str = "hashtree",
+    store_options: dict | None = None,
+) -> dict:
+    """One full pass: exact support counts of arbitrary-length candidates.
+
+    ``candidate_store`` names any registered
+    :mod:`repro.core.candidatestore` store; each store's batch
+    ``count_partition`` hook counts the whole pass (the bitmap store's
+    vertical kernel included).
+    """
     by_len: dict[int, list[Itemset]] = defaultdict(list)
     for cand in candidates:
         by_len[len(cand)].append(cand)
-    trees = {k: HashTree(cands) for k, cands in by_len.items() if cands}
-    counts: dict[Itemset, int] = defaultdict(int)
-    for txn in transactions:
-        for tree in trees.values():
-            for cand in tree.subset(txn):
-                counts[cand] += 1
+    stores = [
+        make_store(candidate_store, cands, **(store_options or {}))
+        for _, cands in sorted(by_len.items())
+        if cands
+    ]
+    from repro.core.approx import _count_all
+
+    counts: dict[Itemset, int] = _count_all(stores, transactions)
     # candidates never seen still deserve an entry
     for cands in by_len.values():
         for cand in cands:
             counts.setdefault(cand, 0)
-    return dict(counts)
+    return counts
 
 
 def toivonen(
@@ -69,6 +84,8 @@ def toivonen(
     lowering: float = 0.8,
     max_attempts: int = 5,
     seed: int | None = 0,
+    candidate_store: str = "hashtree",
+    store_options: dict | None = None,
 ) -> ToivonenResult:
     """All frequent itemsets via sampling + one exact counting pass.
 
@@ -83,6 +100,9 @@ def toivonen(
         make missed patterns rarer but the candidate set larger.
     max_attempts:
         Resampling budget before giving up.
+    candidate_store / store_options:
+        Store (and its constructor kwargs) for the exact counting pass;
+        any :mod:`repro.core.candidatestore` registration works.
 
     Raises
     ------
@@ -118,7 +138,10 @@ def toivonen(
         candidates = set(sample_frequent) | set(border)
         result.candidates_counted = len(candidates)
 
-        exact = count_exact(txns, candidates)
+        exact = count_exact(
+            txns, candidates,
+            candidate_store=candidate_store, store_options=store_options,
+        )
         frequent = {c: v for c, v in exact.items() if v >= threshold}
         violations = [c for c in border if c in frequent]
         result.border_violations = violations

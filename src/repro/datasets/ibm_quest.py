@@ -133,8 +133,8 @@ def t10i4d100k_like(
     (``scale=1.0`` reproduces the full 100,000 transactions with the same
     item universe and pattern structure).
     """
-    if not 0.0 < scale <= 1.0:
-        raise DatasetError("scale must be in (0, 1]")
+    if scale <= 0.0:
+        raise DatasetError("scale must be > 0")
     n_txn = max(200, int(round(100_000 * scale)))
     ds = quest_generator(
         n_transactions=n_txn,

@@ -109,8 +109,10 @@ def dense_dataset(
 
 
 def _scaled(n: int, scale: float) -> int:
-    if not 0.0 < scale <= 1.0:
-        raise DatasetError("scale must be in (0, 1]")
+    # scale > 1 is allowed: the generators draw rows i.i.d., so a larger
+    # scale yields a bigger same-distribution dataset, not replication
+    if scale <= 0.0:
+        raise DatasetError("scale must be > 0")
     return max(200, int(round(n * scale)))
 
 

@@ -142,7 +142,14 @@ class DatasetCache(LruByteCache):
 
 
 class ResultCache:
-    """``(dataset_fingerprint, config_key)`` → result, with TTL + LRU."""
+    """``(dataset_fingerprint, config_key)`` → result, with TTL + LRU.
+
+    Approximate results are second-class citizens: :meth:`put_approx`
+    stores one under its own key *and* indexes it under its exact twin's
+    key, so when the exact run completes, :meth:`put` drops every approx
+    entry it supersedes — an exact completion upgrades the cached answer,
+    and an approx entry can never shadow an exact one.
+    """
 
     def __init__(self, max_entries: int = 256, ttl_s: float = 300.0):
         if max_entries <= 0:
@@ -153,10 +160,13 @@ class ResultCache:
         self.ttl_s = ttl_s
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, tuple[object, float]] = OrderedDict()
+        #: exact key -> approx keys whose entries it supersedes on arrival
+        self._approx_for: dict[tuple, set[tuple]] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.expirations = 0
+        self.upgrades = 0
 
     def get(self, key: tuple, now: float | None = None):
         now = time.monotonic() if now is None else now
@@ -176,6 +186,25 @@ class ResultCache:
             return value
 
     def put(self, key: tuple, value: object, now: float | None = None) -> None:
+        """Cache an exact result; supersedes any approx entries indexed
+        under this key (counted as ``upgrades``)."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            for approx_key in self._approx_for.pop(key, ()):
+                if self._entries.pop(approx_key, None) is not None:
+                    self.upgrades += 1
+            self._entries.pop(key, None)
+            self._entries[key] = (value, now + self.ttl_s)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def put_approx(
+        self, key: tuple, value: object, *, exact_key: tuple,
+        now: float | None = None,
+    ) -> None:
+        """Cache an approximate result under ``key``, indexed against the
+        ``exact_key`` whose arrival will supersede it."""
         now = time.monotonic() if now is None else now
         with self._lock:
             self._entries.pop(key, None)
@@ -183,6 +212,12 @@ class ResultCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+            keys = self._approx_for.setdefault(exact_key, set())
+            keys.add(key)
+            # entries evicted/expired since indexing leave stale index
+            # rows behind; prune them here so the index stays bounded by
+            # the live entry count
+            keys.intersection_update(self._entries)
 
     def __len__(self) -> int:
         with self._lock:
@@ -203,6 +238,8 @@ class ResultCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "expirations": self.expirations,
+                "upgrades": self.upgrades,
+                "approx_indexed": sum(len(v) for v in self._approx_for.values()),
                 "hit_rate": round(self.hit_rate, 4),
             }
 

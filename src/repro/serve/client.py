@@ -10,6 +10,7 @@ that round-trips one request, so tests and benchmarks can swap transports.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
 import urllib.error
@@ -167,13 +168,21 @@ class HttpClient:
         max_retries: int = 0,
         tenant: str = "default",
         pinned=(),
+        approx: bool = False,
     ) -> dict:
         """POST the job; returns the server's job snapshot (``job_id`` etc.).
 
+        ``approx=True`` requests the sampling fast tier without touching
+        the config object (equivalent to ``config.approx = True``).
         Raises :class:`RejectedError` on a 429 (queue full / load shed);
         its ``retry_after_s`` says how long to back off before retrying.
         """
         if isinstance(config, MiningConfig):
+            if approx and not config.approx:
+                # flip the flag before serializing: canonical() only
+                # carries the sampling knobs on approx configs, so setting
+                # it server-side would lose any non-default knob values
+                config = dataclasses.replace(config, approx=True)
             config = config.canonical()
         payload = {
             "transactions": [list(t) for t in transactions],
@@ -184,6 +193,8 @@ class HttpClient:
         }
         if pinned:
             payload["pinned"] = sorted(pinned)
+        if approx:
+            payload["approx"] = True
         if timeout_s is not None:
             payload["timeout_s"] = timeout_s
         return self._request("POST", "/jobs", payload)

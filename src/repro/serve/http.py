@@ -6,7 +6,7 @@ JSON over ``http.server`` — no third-party dependencies:
 ``POST /jobs``           submit ``{"transactions": [[...], ...],
                          "config": {"min_support": ..., ...},
                          "priority"/"timeout_s"/"max_retries"/"tenant"/
-                         "pinned"}`` → 202 with the job snapshot (200 when
+                         "pinned"/"approx"}`` → 202 with the job snapshot (200 when
                          memoized; 429 + ``Retry-After`` when admission
                          control or load shedding rejects)
 ``GET /jobs/<id>``       lifecycle snapshot (state, attempts, timings...)
@@ -29,6 +29,7 @@ import json
 import math
 import threading
 from dataclasses import fields as dataclass_fields
+from dataclasses import replace as dc_replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.common.errors import MiningError
@@ -44,7 +45,7 @@ _CONFIG_FIELDS = {f.name for f in dataclass_fields(MiningConfig)}
 #: ``priorty`` must not silently fall back to defaults)
 _SUBMIT_FIELDS = {
     "transactions", "config", "priority", "timeout_s", "max_retries",
-    "tenant", "pinned",
+    "tenant", "pinned", "approx",
 }
 
 
@@ -64,9 +65,14 @@ def config_from_dict(payload: dict) -> MiningConfig:
 
 
 def result_payload(job) -> dict:
-    """JSON form of a DONE job's :class:`MiningRunResult`."""
+    """JSON form of a DONE job's :class:`MiningRunResult`.
+
+    Approximate results (``repro.core.approx``) carry an extra
+    ``approx`` provenance block; its *absence* on a result served for an
+    approx submission means the cache answered from the exact twin.
+    """
     result = job.result
-    return {
+    payload = {
         "job_id": job.job_id,
         "algorithm": result.algorithm,
         "min_support": result.min_support,
@@ -76,6 +82,18 @@ def result_payload(job) -> dict:
         "via": job.via,
         "itemsets": [[list(itemset), count] for itemset, count in result.itemsets.items()],
     }
+    if hasattr(result, "verified_exact"):
+        payload["approx"] = {
+            "n_samples": result.n_samples,
+            "sample_frac": result.sample_frac,
+            "ratio": result.ratio,
+            "seed": result.seed,
+            "sample_sizes": list(result.sample_sizes),
+            "candidates_verified": result.candidates_verified,
+            "border_violations": [list(v) for v in result.border_violations],
+            "verified_exact": result.verified_exact,
+        }
+    return payload
 
 
 def itemsets_from_payload(payload: dict) -> dict:
@@ -169,6 +187,10 @@ class _Handler(BaseHTTPRequestHandler):
                 raise ServeError("transactions must be a non-empty list of lists")
             config_payload = payload.get("config") or {}
             config = config_from_dict(config_payload)
+            if payload.get("approx"):
+                # top-level sugar for the fast tier: flips the config
+                # knob without the client rebuilding the config object
+                config = dc_replace(config, approx=True)
             submit_kwargs = dict(
                 priority=int(payload.get("priority", 0)),
                 timeout_s=payload.get("timeout_s"),

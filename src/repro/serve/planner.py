@@ -51,12 +51,17 @@ LOCAL_CLUSTER = ClusterSpec(
 )
 
 #: MiningConfig fields the planner is allowed to choose.
-PLANNABLE_FIELDS = ("backend", "num_partitions", "candidate_store")
+PLANNABLE_FIELDS = ("backend", "num_partitions", "candidate_store", "approx")
 
 #: Config defaults used to infer pinning: a caller who set a field away
 #: from its default has expressed intent, and the planner must not
 #: override it.
-_DEFAULTS = {"backend": "threads", "num_partitions": None, "candidate_store": "hashtree"}
+_DEFAULTS = {
+    "backend": "threads",
+    "num_partitions": None,
+    "candidate_store": "hashtree",
+    "approx": False,
+}
 
 
 @dataclass(frozen=True)
@@ -135,6 +140,14 @@ class CostPlanner:
         seconds over this, clamped to ``[1, 4 * cores]``.
     dense_store_threshold:
         Density at or above which the bitmap candidate store is chosen.
+    approx_cutoff_s / interactive_priority:
+        Fast-tier routing: an *interactive* job (``priority <=
+        interactive_priority``) whose exact estimate is at least
+        ``approx_cutoff_s`` runs approximately (``approx=True``) unless
+        the caller pinned the knob — sampling trades the k level-wise
+        passes for one verification pass, which is exactly the trade an
+        interactive caller wants.  ``approx_cutoff_s=None`` disables
+        fast-tier routing.
     """
 
     def __init__(
@@ -146,6 +159,8 @@ class CostPlanner:
         processes_cutoff_s: float = 30.0,
         target_partition_s: float = 0.2,
         dense_store_threshold: float = 0.25,
+        approx_cutoff_s: float | None = 1.0,
+        interactive_priority: int = 0,
         calibration_alpha: float = 0.3,
         stats_cache_entries: int = 1024,
     ):
@@ -154,6 +169,8 @@ class CostPlanner:
         self.processes_cutoff_s = processes_cutoff_s
         self.target_partition_s = target_partition_s
         self.dense_store_threshold = dense_store_threshold
+        self.approx_cutoff_s = approx_cutoff_s
+        self.interactive_priority = interactive_priority
         self.calibration_alpha = calibration_alpha
         self._lock = threading.Lock()
         self._unit_cost_s = unit_cost_s
@@ -216,6 +233,13 @@ class CostPlanner:
         seconds += passes * self.spec.network_seconds(nbytes)
         partitions = config.num_partitions or self.spec.total_cores
         seconds += passes * partitions * self.spec.spark_task_overhead_s
+        if config.approx:
+            # The fast tier mines n_samples databases of sample_frac the
+            # size (full lattice depth, tiny data) and makes ONE full
+            # pass instead of `passes` — scale the exact estimate by the
+            # fraction of full-data scans that remain.
+            scanned = config.approx_samples * config.sample_frac + 1.0
+            seconds *= min(1.0, scanned / passes)
         return seconds
 
     # -- planning ----------------------------------------------------------
@@ -226,6 +250,7 @@ class CostPlanner:
         *,
         pinned=(),
         fingerprint: str | None = None,
+        priority: int = 0,
     ) -> tuple[MiningConfig, PlanDecision]:
         """Return ``(config', decision)`` with unpinned knobs chosen.
 
@@ -233,7 +258,9 @@ class CostPlanner:
         named in ``pinned`` or when its value differs from the
         :class:`MiningConfig` default (an explicit choice).  Non-engine
         algorithms (the sequential oracles, the MapReduce baselines) pass
-        through unplanned: their ``backend`` means something else.
+        through unplanned — their ``backend`` means something else —
+        unless ``approx`` is set, which always runs on the engine.
+        ``priority`` feeds fast-tier routing (interactive jobs only).
         """
         fp = fingerprint or dataset_fingerprint(transactions)
         stats = self.stats_for(transactions, fp)
@@ -242,7 +269,8 @@ class CostPlanner:
             if getattr(config, field_name) != default:
                 pinned_set.add(field_name)
 
-        if not get_algorithm(config.algorithm).needs_engine:
+        engine_backed = config.approx or get_algorithm(config.algorithm).needs_engine
+        if not engine_backed:
             decision = PlanDecision(
                 fingerprint=fp, stats=stats, work_units=0.0, estimated_seconds=0.0,
                 chosen={}, pinned=tuple(sorted(pinned_set)),
@@ -253,6 +281,21 @@ class CostPlanner:
         units = self.work_units(stats, config)
         est = self.estimate_seconds(stats, config)
         chosen: dict = {}
+
+        routed_fast = False
+        if (
+            "approx" not in pinned_set
+            and self.approx_cutoff_s is not None
+            and priority <= self.interactive_priority
+            and est >= self.approx_cutoff_s
+            and get_algorithm(config.algorithm).needs_engine
+        ):
+            # interactive + expensive: route to the sampling fast tier
+            # and re-estimate the now-cheaper job for the knobs below
+            chosen["approx"] = True
+            config = replace(config, approx=True)
+            est = self.estimate_seconds(stats, config)
+            routed_fast = True
 
         if "backend" not in pinned_set:
             if est < self.serial_cutoff_s:
@@ -285,6 +328,7 @@ class CostPlanner:
             reason=(
                 f"est {est:.3g}s over {stats.n_transactions} txns "
                 f"(width {stats.avg_width:.1f}, density {stats.density:.2f})"
+                + (" -> approx fast tier" if routed_fast else "")
             ),
         )
         return planned, decision

@@ -165,7 +165,7 @@ class ShardRouter:
         decision = None
         if self.planner is not None:
             config, decision = self.planner.plan(
-                txns, config, pinned=pinned, fingerprint=fp
+                txns, config, pinned=pinned, fingerprint=fp, priority=priority
             )
 
         if (

@@ -236,7 +236,14 @@ class MiningService:
         job._txns = txns  # released in _finish_locked
         key = job.result_key
 
-        memoized = self.results.get(key)
+        # An approx request is answered by its exact twin's entry first —
+        # the exact result is strictly better, and the approx entry must
+        # never shadow it.
+        memoized = None
+        if config.approx:
+            memoized = self.results.get((fingerprint, config.exact_twin().cache_key()))
+        if memoized is None:
+            memoized = self.results.get(key)
         with self._queue_cond:
             if self._shutdown:
                 raise ServeError("service is shut down")
@@ -529,7 +536,7 @@ class MiningService:
                             f"dataset {job.dataset_fingerprint[:12]} lost before run"
                         )
                     self.datasets.add(txns, job.dataset_fingerprint)
-                if get_algorithm(config.algorithm).needs_engine:
+                if config.approx or get_algorithm(config.algorithm).needs_engine:
                     ctx = self.contexts.acquire(
                         config.backend, config.parallelism, label=job.job_id
                     )
@@ -608,7 +615,14 @@ class MiningService:
             del self._inflight[key]
             followers = self._followers.pop(key, [])
         if state is JobState.DONE and via is None:
-            self.results.put(key, result)
+            config = job.request.config
+            if config.approx:
+                self.results.put_approx(
+                    key, result,
+                    exact_key=(job.dataset_fingerprint, config.exact_twin().cache_key()),
+                )
+            else:
+                self.results.put(key, result)
         job.done_event.set()
         if state is JobState.DONE:
             for follower in followers:

@@ -34,6 +34,21 @@ class TestCountExact:
     def test_empty_candidates(self):
         assert count_exact([("a",)], []) == {}
 
+    @pytest.mark.parametrize("store", ["bitmap", "trie", "flatdict", "linear"])
+    def test_counts_identical_across_stores(self, store):
+        txns = [tuple(sorted(set(t))) for t in TXNS]
+        candidates = [("a",), ("a", "b"), ("x", "y"), ("a", "b", "c"), ("d",)]
+        assert count_exact(txns, candidates, candidate_store=store) == count_exact(
+            txns, candidates
+        )
+
+    def test_store_options_forwarded(self):
+        counts = count_exact(
+            [("a", "b")], [("a", "b")],
+            candidate_store="hashtree", store_options={"fanout": 4},
+        )
+        assert counts == {("a", "b"): 1}
+
 
 class TestToivonen:
     def test_matches_oracle(self):
@@ -47,6 +62,13 @@ class TestToivonen:
         result = toivonen(TXNS, 0.3, sample_fraction=1.0, seed=0)
         assert result.attempts == 1
         assert result.itemsets == apriori(TXNS, 0.3)
+
+    def test_bitmap_store_matches_default(self):
+        default = toivonen(TXNS, 0.3, sample_fraction=0.5, seed=1)
+        bitmap = toivonen(
+            TXNS, 0.3, sample_fraction=0.5, seed=1, candidate_store="bitmap"
+        )
+        assert bitmap.itemsets == default.itemsets
 
     def test_counts_are_exact_not_sampled(self):
         result = toivonen(TXNS, 0.3, sample_fraction=0.4, seed=2)

@@ -262,7 +262,9 @@ class ApproxMiner:
             "sample_mine", "driver",
             n_samples=self.n_samples, sample_frac=self.sample_frac, ratio=self.ratio,
         ):
-            per_sample = self._mine_samples(samples, min_support, max_length, run_bcs)
+            per_sample = self._mine_samples(
+                samples, all_items, min_support, max_length, run_bcs
+            )
         families = [set(freq) for _, freq, _ in per_sample]
         borders = [set(border) for _, _, border in per_sample]
         candidates = set().union(*families) | set().union(*borders)
@@ -327,16 +329,21 @@ class ApproxMiner:
             samples.append([txns[i] for i in idx])
         return samples
 
-    def _mine_samples(self, samples, min_support, max_length, run_bcs) -> list:
+    def _mine_samples(self, samples, all_items, min_support, max_length,
+                      run_bcs) -> list:
+        # Borders MUST be computed over the FULL database universe
+        # (``all_items``), not the items the samples happen to contain: a
+        # globally frequent item absent from every sample would otherwise
+        # never enter any border, so the verification pass could not see
+        # the miss and ``verified_exact`` would be falsely claimed.
         rdd = self.ctx.parallelize(samples, len(samples))
         bc = None
-        items = sorted({i for s in samples for t in s for i in t})
         if self.use_broadcast:
-            bc = self.ctx.broadcast(items)
+            bc = self.ctx.broadcast(all_items)
             run_bcs.append(bc)
         kernel = SampleMiner(
             bc=bc,
-            items=None if bc is not None else items,
+            items=None if bc is not None else all_items,
             min_support=min_support,
             ratio=self.ratio,
             max_length=max_length,

@@ -160,13 +160,36 @@ class ResultCache:
         self.ttl_s = ttl_s
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, tuple[object, float]] = OrderedDict()
-        #: exact key -> approx keys whose entries it supersedes on arrival
+        #: exact key -> approx keys whose entries it supersedes on arrival;
+        #: rows are dropped the moment their last approx entry leaves the
+        #: cache (eviction, expiration, or supersession), so the index
+        #: stays bounded by the live entry count
         self._approx_for: dict[tuple, set[tuple]] = {}
+        #: approx key -> the exact key it is indexed under (reverse map,
+        #: so entry removal can prune its index row in O(1))
+        self._exact_of: dict[tuple, tuple] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.expirations = 0
         self.upgrades = 0
+
+    def _forget_approx_locked(self, key: tuple) -> None:
+        """Entry ``key`` left the cache: drop its approx-index row (both
+        directions), removing the exact key's set once it empties."""
+        exact_key = self._exact_of.pop(key, None)
+        if exact_key is not None:
+            keys = self._approx_for.get(exact_key)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._approx_for[exact_key]
+
+    def _evict_over_budget_locked(self) -> None:
+        while len(self._entries) > self.max_entries:
+            evicted, _ = self._entries.popitem(last=False)
+            self._forget_approx_locked(evicted)
+            self.evictions += 1
 
     def get(self, key: tuple, now: float | None = None):
         now = time.monotonic() if now is None else now
@@ -178,6 +201,7 @@ class ResultCache:
             value, expires_s = entry
             if now >= expires_s:
                 del self._entries[key]
+                self._forget_approx_locked(key)
                 self.expirations += 1
                 self.misses += 1
                 return None
@@ -185,19 +209,45 @@ class ResultCache:
             self.hits += 1
             return value
 
+    def get_first(self, keys: Iterable[tuple], now: float | None = None):
+        """First live entry among ``keys`` (tried in order), or ``None``.
+
+        One logical lookup: records exactly one hit (some key answered)
+        or one miss (none did), however many keys were tried — the
+        serving layer's exact-twin-then-own-key probe must not inflate
+        the miss count on every approx submission.
+        """
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            for key in keys:
+                entry = self._entries.get(key)
+                if entry is None:
+                    continue
+                value, expires_s = entry
+                if now >= expires_s:
+                    del self._entries[key]
+                    self._forget_approx_locked(key)
+                    self.expirations += 1
+                    continue
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return value
+            self.misses += 1
+            return None
+
     def put(self, key: tuple, value: object, now: float | None = None) -> None:
         """Cache an exact result; supersedes any approx entries indexed
         under this key (counted as ``upgrades``)."""
         now = time.monotonic() if now is None else now
         with self._lock:
             for approx_key in self._approx_for.pop(key, ()):
+                self._exact_of.pop(approx_key, None)
                 if self._entries.pop(approx_key, None) is not None:
                     self.upgrades += 1
-            self._entries.pop(key, None)
+            if self._entries.pop(key, None) is not None:
+                self._forget_approx_locked(key)
             self._entries[key] = (value, now + self.ttl_s)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+            self._evict_over_budget_locked()
 
     def put_approx(
         self, key: tuple, value: object, *, exact_key: tuple,
@@ -207,17 +257,12 @@ class ResultCache:
         ``exact_key`` whose arrival will supersede it."""
         now = time.monotonic() if now is None else now
         with self._lock:
-            self._entries.pop(key, None)
+            if self._entries.pop(key, None) is not None:
+                self._forget_approx_locked(key)  # may re-index under a new twin
             self._entries[key] = (value, now + self.ttl_s)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-            keys = self._approx_for.setdefault(exact_key, set())
-            keys.add(key)
-            # entries evicted/expired since indexing leave stale index
-            # rows behind; prune them here so the index stays bounded by
-            # the live entry count
-            keys.intersection_update(self._entries)
+            self._approx_for.setdefault(exact_key, set()).add(key)
+            self._exact_of[key] = exact_key
+            self._evict_over_budget_locked()
 
     def __len__(self) -> int:
         with self._lock:

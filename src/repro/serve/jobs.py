@@ -134,6 +134,11 @@ class Job:
     #: knobs the cost-based planner chose for this job, e.g.
     #: ``{"backend": "serial", "num_partitions": 2}`` (None = no planner)
     planned: dict | None = None
+    #: True when the planner rerouted an exact submission onto the
+    #: approximate fast tier — surfaced top-level so a caller who never
+    #: asked for approximation sees the substitution in every snapshot,
+    #: not only in the result's provenance block
+    fast_tier: bool = False
     cancel_event: threading.Event = field(default_factory=threading.Event, repr=False)
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
     #: the submitted transactions, pinned until the job is terminal so
@@ -174,6 +179,7 @@ class Job:
             "coalesced_with": self.coalesced_with,
             "shard": self.shard,
             "planned": self.planned,
+            "fast_tier": self.fast_tier,
             "queued_seconds": round(
                 (self.started_s or self.finished_s or now) - self.submitted_s, 6
             ),

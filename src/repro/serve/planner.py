@@ -110,6 +110,9 @@ class PlanDecision:
     chosen: dict
     pinned: tuple
     reason: str
+    #: True when the planner rerouted this job to the approximate fast
+    #: tier (the caller did not ask for approximation)
+    routed_fast: bool = False
 
     def snapshot(self) -> dict:
         return {
@@ -117,6 +120,7 @@ class PlanDecision:
             "chosen": dict(self.chosen),
             "pinned": sorted(self.pinned),
             "reason": self.reason,
+            "routed_fast": self.routed_fast,
         }
 
 
@@ -146,8 +150,13 @@ class CostPlanner:
         ``approx_cutoff_s`` runs approximately (``approx=True``) unless
         the caller pinned the knob — sampling trades the k level-wise
         passes for one verification pass, which is exactly the trade an
-        interactive caller wants.  ``approx_cutoff_s=None`` disables
-        fast-tier routing.
+        interactive caller wants.  ``approx_cutoff_s=None`` (the
+        default) disables fast-tier routing: approximate answers can
+        drop itemsets (``verified_exact=False``), so silently rerouting
+        callers who never asked for approximation is an *operator*
+        decision, opted into by setting a cutoff.  A reroute is stamped
+        on the decision as ``routed_fast`` (and in the job snapshot's
+        ``fast_tier`` field), not buried in provenance.
     """
 
     def __init__(
@@ -159,7 +168,7 @@ class CostPlanner:
         processes_cutoff_s: float = 30.0,
         target_partition_s: float = 0.2,
         dense_store_threshold: float = 0.25,
-        approx_cutoff_s: float | None = 1.0,
+        approx_cutoff_s: float | None = None,
         interactive_priority: int = 0,
         calibration_alpha: float = 0.3,
         stats_cache_entries: int = 1024,
@@ -330,6 +339,7 @@ class CostPlanner:
                 f"(width {stats.avg_width:.1f}, density {stats.density:.2f})"
                 + (" -> approx fast tier" if routed_fast else "")
             ),
+            routed_fast=routed_fast,
         )
         return planned, decision
 

@@ -204,6 +204,7 @@ class ShardRouter:
                 continue
             if decision is not None:
                 job.planned = decision.chosen
+                job.fast_tier = decision.routed_fast
             with self._lock:
                 self.jobs_routed += 1
                 if rank > 0:

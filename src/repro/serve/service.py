@@ -238,12 +238,12 @@ class MiningService:
 
         # An approx request is answered by its exact twin's entry first —
         # the exact result is strictly better, and the approx entry must
-        # never shadow it.
-        memoized = None
+        # never shadow it.  One get_first probe = one hit/miss recorded,
+        # so the twin lookup cannot inflate the miss count.
+        lookup = [key]
         if config.approx:
-            memoized = self.results.get((fingerprint, config.exact_twin().cache_key()))
-        if memoized is None:
-            memoized = self.results.get(key)
+            lookup.insert(0, (fingerprint, config.exact_twin().cache_key()))
+        memoized = self.results.get_first(lookup)
         with self._queue_cond:
             if self._shutdown:
                 raise ServeError("service is shut down")

@@ -82,6 +82,18 @@ class TestApproxMiner:
             ).run(TXNS, 0.3)
             assert other.itemsets == base.itemsets, store
 
+    def test_borders_span_full_universe_not_just_samples(self, ctx):
+        # "z" is in the full database universe but absent from the sample:
+        # its singleton must still enter the sample's negative border, or
+        # a globally frequent item missed by every sample would never be
+        # verified and verified_exact could be falsely claimed
+        miner = ApproxMiner(ctx, n_samples=1, sample_frac=0.5, seed=0,
+                            use_broadcast=False)
+        samples = [[("a",), ("a", "b")]]
+        per_sample = miner._mine_samples(samples, ["a", "b", "z"], 0.5, None, [])
+        ((_, _, border),) = per_sample
+        assert ("z",) in border
+
     def test_validation(self, ctx):
         with pytest.raises(MiningError):
             ApproxMiner(ctx, n_samples=0)

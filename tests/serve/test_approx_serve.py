@@ -58,6 +58,34 @@ class TestResultCacheUpgrade:
         cache.put_approx(("fp", "a2"), "approx-2", exact_key=("fp", "e"))  # evicts a1
         assert cache.stats()["approx_indexed"] == 1
 
+    def test_index_prunes_on_unrelated_eviction(self):
+        # the evicting put is for a DIFFERENT exact key: the approx
+        # entry's index row must still be cleaned, and the now-empty
+        # row dropped entirely (long-running servers would otherwise
+        # accumulate one dead row per (dataset, config) pair)
+        cache = ResultCache(max_entries=1)
+        cache.put_approx(("fp", "a1"), "approx-1", exact_key=("fp", "e"))
+        cache.put(("fp2", "x"), "other")  # evicts a1
+        assert cache.stats()["approx_indexed"] == 0
+        assert cache._approx_for == {}
+        assert cache._exact_of == {}
+
+    def test_index_prunes_on_expiration(self):
+        cache = ResultCache(ttl_s=10.0)
+        cache.put_approx(("fp", "a1"), "approx-1", exact_key=("fp", "e"), now=0.0)
+        assert cache.get(("fp", "a1"), now=20.0) is None  # expired
+        assert cache.stats()["approx_indexed"] == 0
+        assert cache._approx_for == {}
+        assert cache._exact_of == {}
+
+    def test_get_first_records_one_miss_for_the_whole_probe(self):
+        cache = ResultCache()
+        assert cache.get_first([("fp", "e"), ("fp", "a")]) is None
+        assert cache.misses == 1 and cache.hits == 0
+        cache.put_approx(("fp", "a"), "approx", exact_key=("fp", "e"))
+        assert cache.get_first([("fp", "e"), ("fp", "a")]) == "approx"
+        assert cache.misses == 1 and cache.hits == 1
+
 
 class TestServiceApproxFlow:
     def test_approx_job_runs_and_carries_provenance(self):
@@ -94,13 +122,31 @@ class TestServiceApproxFlow:
             assert job.via == "memoized"
             assert not isinstance(job.result, ApproxResult)
 
+    def test_twin_probe_counts_one_miss_per_submit(self):
+        with MiningService(n_workers=1) as svc:
+            job = svc.submit(TXNS, APPROX)  # no twin, no own entry: ONE miss
+            assert svc.results.misses == 1
+            assert job.wait(60) and job.state.value == "done", job.error
+
 
 class TestPlannerFastTier:
     @staticmethod
     def _slow_planner(**kwargs):
         # a huge unit cost makes any dataset look expensive, forcing the
         # estimate over the fast-tier cutoff without big fixtures
+        # (routing itself is opt-in, so the cutoff is set explicitly)
+        kwargs.setdefault("approx_cutoff_s", 1.0)
         return CostPlanner(unit_cost_s=1.0, **kwargs)
+
+    def test_routing_is_opt_in(self):
+        # default planner: no cutoff -> even an expensive interactive job
+        # stays exact; silently trading completeness for latency must be
+        # an explicit operator decision
+        planner = CostPlanner(unit_cost_s=1.0)
+        assert planner.approx_cutoff_s is None
+        planned, decision = planner.plan(TXNS, MiningConfig(min_support=0.3))
+        assert not planned.approx
+        assert not decision.routed_fast
 
     def test_interactive_expensive_job_routes_to_fast_tier(self):
         planner = self._slow_planner()
@@ -108,6 +154,8 @@ class TestPlannerFastTier:
         assert planned.approx
         assert decision.chosen["approx"] is True
         assert "fast tier" in decision.reason
+        assert decision.routed_fast
+        assert decision.snapshot()["routed_fast"] is True
 
     def test_batch_priority_stays_exact(self):
         planner = self._slow_planner()
@@ -135,7 +183,8 @@ class TestPlannerFastTier:
         assert not planned.approx
 
     def test_cheap_job_stays_exact(self):
-        planner = CostPlanner()  # realistic unit cost: tiny dataset is cheap
+        # realistic unit cost: the tiny dataset estimates under the cutoff
+        planner = CostPlanner(approx_cutoff_s=1.0)
         planned, decision = planner.plan(TXNS, MiningConfig(min_support=0.3))
         assert not planned.approx
         assert decision.estimated_seconds < planner.approx_cutoff_s
@@ -152,6 +201,19 @@ class TestPlannerFastTier:
         config = MiningConfig(min_support=0.3, algorithm="apriori", approx=True)
         _, decision = planner.plan(TXNS, config)
         assert decision.work_units > 0  # not the unplanned early-return
+
+    def test_reroute_stamped_on_job_snapshot(self):
+        from repro.serve.router import ShardRouter
+
+        planner = self._slow_planner()
+        with ShardRouter(n_shards=1, n_workers=1, planner=planner) as router:
+            job = router.submit(
+                TXNS, MiningConfig(min_support=0.3, backend="serial")
+            )
+            assert job.wait(60) and job.state.value == "done", job.error
+            assert job.fast_tier
+            assert job.snapshot()["fast_tier"] is True
+            assert isinstance(job.result, ApproxResult)
 
 
 class TestHttpApprox:

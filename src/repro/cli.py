@@ -103,10 +103,81 @@ def _fastpath_options(args) -> dict:
     return options
 
 
+def _print_top_itemsets(itemsets: dict, top: int) -> None:
+    shown = sorted(itemsets.items(), key=lambda kv: (-kv[1], kv[0]))
+    for itemset, count in shown[:top]:
+        print(f"  {' '.join(map(str, itemset)):40s} {count}")
+    if len(shown) > top:
+        print(f"  ... and {len(shown) - top} more")
+
+
+def _read_delta(path: str) -> list:
+    from repro.datasets import from_lines
+
+    with open(path) as f:
+        return from_lines(path, f).transactions
+
+
+def _mine_with_appends(args, txns) -> int:
+    """``mine --append-file``: build incremental state over the base
+    window, fold each delta file in (one delta pass per affected level),
+    and report update cost against a cold re-mine of the final window."""
+    import time
+
+    from repro.core.incremental import IncrementalMiner
+
+    store = args.candidate_store if args.candidate_store != "hashtree" else "bitmap"
+    t0 = time.perf_counter()
+    miner = IncrementalMiner(
+        txns, args.support, max_length=args.max_length, candidate_store=store
+    )
+    build_s = time.perf_counter() - t0
+    print(
+        f"built incremental state over {miner.n_transactions} txns "
+        f"in {build_s:.3f}s (store={store})"
+    )
+    window = list(txns)
+    update_total = 0.0
+    for path in args.append_file:
+        delta = _read_delta(path)
+        window.extend(delta)
+        t0 = time.perf_counter()
+        miner.append(delta)
+        update_s = time.perf_counter() - t0
+        update_total += update_s
+        up = miner.last_update
+        mode = (
+            f"full rebuild: {up.rebuild_reason}"
+            if up.full_rebuild
+            else f"{up.levels_delta} delta / {up.levels_remined} re-mined levels"
+        )
+        print(
+            f"append {path}: +{len(delta)} txns -> v{up.version} "
+            f"in {update_s:.3f}s ({mode})"
+        )
+    result = miner.result()
+    print(result.summary())
+    _print_top_itemsets(result.itemsets, args.top)
+    t0 = time.perf_counter()
+    IncrementalMiner(
+        window, args.support, max_length=args.max_length, candidate_store=store
+    )
+    cold_s = time.perf_counter() - t0
+    print(
+        f"updates {update_total:.3f}s vs full re-mine {cold_s:.3f}s "
+        f"({cold_s / max(update_total, 1e-9):.1f}x)"
+    )
+    if args.trace_out:
+        _write_trace([result.trace], args.trace_out)
+    return 0
+
+
 def cmd_mine(args) -> int:
     from repro.core.api import MiningConfig, mine_frequent_itemsets
 
     name, txns = _load_transactions(args)
+    if args.append_file:
+        return _mine_with_appends(args, txns)
     result = mine_frequent_itemsets(
         txns,
         config=MiningConfig(
@@ -121,15 +192,12 @@ def cmd_mine(args) -> int:
             approx_samples=args.approx_samples,
             approx_ratio=args.approx_ratio,
             sample_frac=args.sample_frac,
+            incremental=args.incremental,
             options=_fastpath_options(args),
         ),
     )
     print(result.summary())
-    shown = sorted(result.itemsets.items(), key=lambda kv: (-kv[1], kv[0]))
-    for itemset, count in shown[: args.top]:
-        print(f"  {' '.join(map(str, itemset)):40s} {count}")
-    if len(shown) > args.top:
-        print(f"  ... and {len(shown) - args.top} more")
+    _print_top_itemsets(result.itemsets, args.top)
     if args.rules is not None:
         from repro.core.rules import generate_rules, top_rules
 
@@ -220,30 +288,55 @@ def cmd_submit(args) -> int:
     from repro.core.registry import MiningConfig
     from repro.serve.client import HttpClient
     from repro.serve.http import itemsets_from_payload
+    from repro.serve.jobs import ApiError
 
-    _, txns = _load_transactions(args)
+    if args.append and not args.dataset_id:
+        raise ReproError("--append requires --dataset-id")
     client = HttpClient(args.url)
-    snapshot = client.submit(
-        txns,
-        MiningConfig(
-            min_support=args.support,
-            algorithm=args.algorithm,
-            max_length=args.max_length,
-            backend=args.backend,
-            parallelism=args.parallelism,
-            num_partitions=args.num_partitions,
-            candidate_store=args.candidate_store,
-            approx=args.approx,
-            approx_samples=args.approx_samples,
-            approx_ratio=args.approx_ratio,
-            sample_frac=args.sample_frac,
-            options=_fastpath_options(args),
-        ),
+    config = MiningConfig(
+        min_support=args.support,
+        algorithm=args.algorithm,
+        max_length=args.max_length,
+        backend=args.backend,
+        parallelism=args.parallelism,
+        num_partitions=args.num_partitions,
+        candidate_store=args.candidate_store,
+        approx=args.approx,
+        approx_samples=args.approx_samples,
+        approx_ratio=args.approx_ratio,
+        sample_frac=args.sample_frac,
+        incremental=args.incremental,
+        options=_fastpath_options(args),
+    )
+    submit_kwargs = dict(
         priority=args.priority,
         timeout_s=args.timeout,
         max_retries=args.max_retries,
         tenant=args.tenant,
     )
+    if args.dataset_id:
+        try:
+            client.dataset_info(args.dataset_id)
+        except ApiError as err:
+            if err.code != "unknown_dataset":
+                raise
+            _, txns = _load_transactions(args)
+            info = client.create_dataset(args.dataset_id, txns)
+            print(
+                f"registered dataset {args.dataset_id!r} "
+                f"(v{info['version']}, {info['n_transactions']} txns)"
+            )
+        if args.append:
+            info = client.append_dataset(args.dataset_id, _read_delta(args.append))
+            print(
+                f"appended -> v{info['version']} "
+                f"({info['n_transactions']} txns, "
+                f"{info['invalidated_results']} stale cached result(s) dropped)"
+            )
+        snapshot = client.submit(None, config, dataset=args.dataset_id, **submit_kwargs)
+    else:
+        _, txns = _load_transactions(args)
+        snapshot = client.submit(txns, config, **submit_kwargs)
     job_id = snapshot["job_id"]
     print(f"submitted {job_id} (state={snapshot['state']}, via={snapshot['via']})")
     if args.no_wait:
@@ -342,12 +435,23 @@ def build_parser() -> argparse.ArgumentParser:
             "--sample-frac", type=float, default=0.1,
             help="fraction of the database each sample draws",
         )
+        p.add_argument(
+            "--incremental", action="store_true",
+            help="incremental tier: delta-maintained counts with "
+            "border-bounded re-mining (candidate store defaults to bitmap)",
+        )
         p.add_argument("--top", type=int, default=15, help="itemsets/rules to print")
 
     mine = sub.add_parser("mine", help="mine frequent itemsets")
     common(mine)
     mine.add_argument("--input", help="transaction file (one txn per line)")
     mining_knobs(mine)
+    mine.add_argument(
+        "--append-file", action="append", default=None, metavar="FILE",
+        help="after mining the base window incrementally, append this "
+        "file's transactions as a delta update (repeatable; reports "
+        "update cost vs a full re-mine)",
+    )
     mine.add_argument(
         "--rules", type=float, default=None, metavar="CONF",
         help="also emit association rules at this confidence",
@@ -422,6 +526,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--url", default="http://127.0.0.1:8080", help="server base URL",
     )
     mining_knobs(submit)
+    submit.add_argument(
+        "--dataset-id", default=None, metavar="NAME",
+        help="submit against a named server-side dataset (registered "
+        "from the local transactions on first use); appends keep its "
+        "warm incremental state on one home shard",
+    )
+    submit.add_argument(
+        "--append", default=None, metavar="FILE",
+        help="with --dataset-id: append this file's transactions to the "
+        "dataset (new version, stale cached results dropped) before "
+        "submitting",
+    )
     submit.add_argument("--priority", type=int, default=0, help="lower runs first")
     submit.add_argument(
         "--tenant", default="default",

@@ -22,6 +22,7 @@ from repro.core.registry import (
 )
 from repro.core.dist_eclat import DistEclat
 from repro.core.hashtree import HashTree
+from repro.core.incremental import IncrementalMiner, IncrementalUpdate, run_incremental
 from repro.core.one_phase import OnePhaseMR
 from repro.core.pfp import PFP
 from repro.core.rapriori import RApriori
@@ -53,6 +54,8 @@ __all__ = [
     "DistEclat",
     "FlatDictStore",
     "HashTree",
+    "IncrementalMiner",
+    "IncrementalUpdate",
     "LinearStore",
     "TrieStore",
     "IterationStats",
@@ -86,6 +89,7 @@ __all__ = [
     "prune_step",
     "register_store",
     "run_approx",
+    "run_incremental",
     "spc_strategy",
     "store_names",
     "unregister_store",

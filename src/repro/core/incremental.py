@@ -1,0 +1,518 @@
+"""Incremental sliding-window mining: delta-maintained counts with
+border-bounded re-mining.
+
+Every miner in :mod:`repro.core` is batch-only — one appended transaction
+forces a full re-mine.  YAFIM's level-wise structure says that is almost
+always wasted work: under a small delta a level's frequent family can only
+change if some itemset's exact count crosses the support threshold, and
+the only itemsets that can cross *upward* are the level's **negative
+border** (the candidates ``apriori_gen`` produced and the counting pass
+rejected).  :class:`IncrementalMiner` therefore keeps, per window:
+
+* the dict-encoded transactions with multiplicities (the PR-4 compacted
+  representation — identical rows collapse to one weighted row);
+* per level ``k``: exact counts for **every** generated candidate, i.e.
+  the frequent k-itemsets *and* the level's negative border, plus a warm
+  :class:`~repro.core.candidatestore.CandidateStore` over them (bitmap by
+  default — the PR-5 vertical counting kernel);
+* the exact per-item counts of the raw window (level 1 and the
+  dictionary-shift guard).
+
+``append(transactions)`` / ``retire(n_oldest)`` then update counts with
+**one ``count_partition`` pass over the delta per level** and re-derive
+each frequent family against the new threshold.  A level is re-mined only
+when the previous level's frequent family actually changed (a border
+itemset crossed the threshold, in either direction — ``retire`` lowers
+the threshold, so borders cross upward there too).  Even then the pass is
+*border-bounded*: candidates already tracked keep their maintained counts
+and only the genuinely new candidates take a full-window counting pass.
+Two events fall back to a full rebuild: a frequent singleton outside the
+item dictionary (its occurrences were dropped at encode time, so no delta
+pass can recover them — the window must be re-encoded) — and nothing
+else; a dictionary item going *infrequent* needs no re-encode, its codes
+simply drop out of level 1.
+
+Correctness contract (pinned by the oracle tests): after any sequence of
+appends and retires the mined itemsets equal a cold re-mine of the
+current window.  Every update is traced as an ``incremental_update`` span
+and reported as :class:`IncrementalUpdate` delta-pass stats, which also
+ride on the result's :class:`~repro.core.results.IterationStats`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.common.encoding import ItemDictionary
+from repro.common.errors import MiningError
+from repro.common.itemset import canonical_transaction, min_support_count
+from repro.core.candidates import apriori_gen
+from repro.core.candidatestore import make_store
+from repro.core.results import IterationStats, MiningRunResult
+
+
+def _count_rows(store, rows) -> dict:
+    """One store's exact candidate counts for weighted
+    ``(encoded_txn, multiplicity)`` rows.
+
+    Prefers the batch ``count_partition`` kernel; falls back to streaming
+    ``count_into`` for stores that predate it (the raw :class:`HashTree`),
+    mirroring :mod:`repro.core.counting`.
+    """
+    count_partition = getattr(store, "count_partition", None)
+    if count_partition is not None:
+        return count_partition(rows, weighted=True)
+    counts: dict = {}
+    for txn, weight in rows:
+        store.count_into(counts, txn, weight)
+    return counts
+
+
+class _WindowCounter:
+    """``run_job`` kernel: counts of one partition of weighted rows."""
+
+    def __init__(self, store):
+        self.store = store
+
+    def __call__(self, _task_ctx, partition):
+        return _count_rows(self.store, list(partition))
+
+
+@dataclass
+class IncrementalUpdate:
+    """What one ``append``/``retire`` (or the initial build) actually did."""
+
+    kind: str  # "build" | "append" | "retire"
+    n_delta: int  # logical transactions added/removed
+    n_transactions: int = 0  # window size after the update
+    version: int = 0
+    seconds: float = 0.0
+    threshold: int = 0
+    #: True when the update fell back to a full re-encode + re-mine
+    full_rebuild: bool = False
+    rebuild_reason: str | None = None
+    delta_rows: int = 0  # physical (deduplicated) delta rows counted
+    delta_candidates: int = 0  # candidates maintained by delta passes
+    full_candidates: int = 0  # candidates re-counted over the full window
+    levels_delta: int = 0  # levels kept current by a delta pass alone
+    levels_remined: int = 0  # levels whose candidate set was regenerated
+    #: per-level trail: {"k", "mode" ("delta"|"remine"), "delta_candidates",
+    #: "full_candidates"} — folded into IterationStats by ``result()``
+    per_level: list = field(default_factory=list)
+
+
+@dataclass
+class _Level:
+    """Per-level state: exact counts for frequent ∪ negative border."""
+
+    k: int
+    counts: dict  # candidate -> exact window count
+    frequent: set  # candidates at/above the current threshold
+    store: object  # warm CandidateStore over counts' keys (delta passes)
+
+    @property
+    def border(self) -> set:
+        """The level's negative border: generated but infrequent."""
+        return set(self.counts) - self.frequent
+
+
+class IncrementalMiner:
+    """Sliding-window frequent-itemset state with delta maintenance.
+
+    Parameters
+    ----------
+    transactions:
+        The initial window (must be non-empty).
+    min_support:
+        Relative support threshold in (0, 1]; the absolute threshold is
+        re-derived from the window size after every update.
+    max_length:
+        Optional cap on mined itemset length.
+    candidate_store:
+        Store used for every counting pass (default ``"bitmap"`` — the
+        vertical tid-bitmap kernel is the cheapest per delta row).
+    num_partitions / ctx:
+        When ``ctx`` (an engine :class:`~repro.engine.context.Context`)
+        is set, full-window counting passes run as engine jobs over
+        ``num_partitions`` partitions; delta passes always run on the
+        driver — a ≤1% delta is far below job-launch overhead.  ``ctx``
+        is a plain attribute: the serving tier lends a pooled context
+        per update and detaches it afterwards.
+    """
+
+    def __init__(
+        self,
+        transactions,
+        min_support: float,
+        *,
+        max_length: int | None = None,
+        candidate_store: str = "bitmap",
+        store_options: dict | None = None,
+        num_partitions: int | None = None,
+        ctx=None,
+        tracer=None,
+    ):
+        if not 0.0 < min_support <= 1.0:
+            raise MiningError(f"min_support must be in (0, 1], got {min_support}")
+        self.min_support = min_support
+        self.max_length = max_length
+        self.candidate_store = candidate_store
+        self.store_options = dict(store_options or {})
+        self.num_partitions = num_partitions
+        self.ctx = ctx
+        self._tracer = tracer
+        self._window: list = [canonical_transaction(t) for t in transactions]
+        if not self._window:
+            raise MiningError("cannot build incremental state over an empty window")
+        self._item_counts: dict = {}
+        for txn in self._window:
+            for item in txn:
+                self._item_counts[item] = self._item_counts.get(item, 0) + 1
+        self.version = 1
+        self.full_rebuilds = 0
+        t0 = time.perf_counter()
+        update = IncrementalUpdate(kind="build", n_delta=len(self._window))
+        with self._trace().span(
+            "incremental_update", "driver", kind="build", n_delta=len(self._window)
+        ):
+            self._rebuild(update)
+        update.n_transactions = len(self._window)
+        update.version = self.version
+        update.threshold = self._threshold
+        update.seconds = time.perf_counter() - t0
+        self.last_update = update
+
+    # -- public surface ----------------------------------------------------
+    @property
+    def n_transactions(self) -> int:
+        return len(self._window)
+
+    @property
+    def threshold(self) -> int:
+        return self._threshold
+
+    def negative_border(self, k: int) -> set:
+        """The tracked negative border at level ``k`` (encoded itemsets
+        for ``k >= 2``; raw infrequent-singleton items for ``k == 1``)."""
+        if k == 1:
+            return {
+                (item,)
+                for item, c in self._item_counts.items()
+                if c < self._threshold
+            }
+        for lvl in self._levels:
+            if lvl.k == k:
+                return lvl.border
+        return set()
+
+    def append(self, transactions) -> IncrementalUpdate:
+        """Extend the window; maintain counts from the delta alone."""
+        delta = [canonical_transaction(t) for t in transactions]
+        update = IncrementalUpdate(kind="append", n_delta=len(delta))
+        if not delta:
+            update.n_transactions = len(self._window)
+            update.version = self.version
+            update.threshold = self._threshold
+            return update
+        t0 = time.perf_counter()
+        with self._trace().span(
+            "incremental_update", "driver", kind="append", n_delta=len(delta)
+        ):
+            self._window.extend(delta)
+            for txn in delta:
+                for item in txn:
+                    self._item_counts[item] = self._item_counts.get(item, 0) + 1
+            self._apply_delta(delta, +1, update)
+        return self._seal(update, t0)
+
+    def retire(self, n_oldest: int) -> IncrementalUpdate:
+        """Drop the ``n_oldest`` transactions from the front of the window.
+
+        Retiring lowers the absolute threshold, so negative-border
+        itemsets can cross *upward* here exactly as appends push them up.
+        Raises :class:`MiningError` rather than emptying the window.
+        """
+        update = IncrementalUpdate(kind="retire", n_delta=max(0, n_oldest))
+        if n_oldest <= 0:
+            update.n_transactions = len(self._window)
+            update.version = self.version
+            update.threshold = self._threshold
+            return update
+        if n_oldest >= len(self._window):
+            raise MiningError(
+                f"retire({n_oldest}) would empty the {len(self._window)}-transaction window"
+            )
+        t0 = time.perf_counter()
+        with self._trace().span(
+            "incremental_update", "driver", kind="retire", n_delta=n_oldest
+        ):
+            retired = self._window[:n_oldest]
+            del self._window[:n_oldest]
+            for txn in retired:
+                for item in txn:
+                    left = self._item_counts[item] - 1
+                    if left:
+                        self._item_counts[item] = left
+                    else:
+                        del self._item_counts[item]
+            self._apply_delta(retired, -1, update)
+        return self._seal(update, t0)
+
+    def itemsets(self) -> dict:
+        """Current frequent itemsets (decoded) with exact counts."""
+        threshold = self._threshold
+        out = {}
+        for item, count in self._item_counts.items():
+            if count >= threshold:
+                out[(item,)] = count
+        decode = self._dictionary.decode_itemset
+        for lvl in self._levels:
+            for cand in lvl.frequent:
+                out[decode(cand)] = lvl.counts[cand]
+        return out
+
+    def result(self) -> MiningRunResult:
+        """A :class:`MiningRunResult` for the current window, carrying the
+        last update's delta-pass stats on its :class:`IterationStats`."""
+        result = MiningRunResult(
+            algorithm="incremental",
+            min_support=self.min_support,
+            n_transactions=len(self._window),
+        )
+        result.itemsets = self.itemsets()
+        upd = self.last_update
+        by_k = {entry["k"]: entry for entry in upd.per_level}
+        first = IterationStats(
+            k=1,
+            seconds=upd.seconds,
+            n_candidates=len(self._item_counts),
+            n_frequent=len(self._frequent1),
+            delta_rows=upd.delta_rows,
+        )
+        result.iterations = [first]
+        for lvl in self._levels:
+            entry = by_k.get(lvl.k, {})
+            result.iterations.append(
+                IterationStats(
+                    k=lvl.k,
+                    seconds=0.0,
+                    n_candidates=len(lvl.counts),
+                    n_frequent=len(lvl.frequent),
+                    delta_rows=upd.delta_rows,
+                    delta_candidates=entry.get("delta_candidates", 0),
+                    full_candidates=entry.get("full_candidates", 0),
+                )
+            )
+        result.trace = self._trace()
+        return result
+
+    # -- internals ---------------------------------------------------------
+    def _trace(self):
+        if self._tracer is not None:
+            return self._tracer
+        if self.ctx is not None:
+            return self.ctx.tracer
+        from repro.engine.tracing import Tracer
+
+        self._tracer = Tracer(label="incremental")
+        return self._tracer
+
+    def _seal(self, update: IncrementalUpdate, t0: float) -> IncrementalUpdate:
+        self.version += 1
+        update.n_transactions = len(self._window)
+        update.version = self.version
+        update.threshold = self._threshold
+        update.seconds = time.perf_counter() - t0
+        self.last_update = update
+        return update
+
+    def _make_store(self, candidates):
+        return make_store(self.candidate_store, candidates, **self.store_options)
+
+    def _count_window(self, store, candidates) -> dict:
+        """Exact full-window counts for ``candidates`` (zero-filled)."""
+        rows = list(self._encoded.items())
+        counts: dict = {}
+        if rows:
+            if self.ctx is not None:
+                rdd = self.ctx.parallelize(rows, self.num_partitions)
+                for part in self.ctx.run_job(rdd, _WindowCounter(store)):
+                    for cand, cnt in part.items():
+                        counts[cand] = counts.get(cand, 0) + cnt
+            else:
+                counts = _count_rows(store, rows)
+        return {c: counts.get(c, 0) for c in candidates}
+
+    def _rebuild(self, update: IncrementalUpdate) -> None:
+        """Full re-encode + re-mine of the current window (initial build
+        and the new-frequent-singleton fallback)."""
+        self._threshold = min_support_count(self.min_support, len(self._window))
+        frequent_items = {
+            i: c for i, c in self._item_counts.items() if c >= self._threshold
+        }
+        self._dictionary = ItemDictionary.from_counts(frequent_items)
+        encoded: dict = {}
+        for txn in self._window:
+            enc = self._dictionary.encode_transaction(txn)
+            if len(enc) >= 2:  # shorter rows cannot support any k>=2 candidate
+                encoded[enc] = encoded.get(enc, 0) + 1
+        self._encoded = encoded
+        self._frequent1 = {(self._dictionary.code(i),) for i in frequent_items}
+        self._levels: list[_Level] = []
+        prev = sorted(self._frequent1)
+        k = 2
+        while prev and (self.max_length is None or k <= self.max_length):
+            candidates = apriori_gen(prev)
+            if not candidates:
+                break
+            store = self._make_store(candidates)
+            counts = self._count_window(store, candidates)
+            frequent = {c for c in candidates if counts[c] >= self._threshold}
+            self._levels.append(
+                _Level(k=k, counts=counts, frequent=frequent, store=store)
+            )
+            update.full_candidates += len(candidates)
+            update.levels_remined += 1
+            update.per_level.append(
+                {"k": k, "mode": "remine", "delta_candidates": 0,
+                 "full_candidates": len(candidates)}
+            )
+            prev = sorted(frequent)
+            k += 1
+
+    def _apply_delta(self, delta_txns, sign: int, update: IncrementalUpdate) -> None:
+        """Window and item counts already reflect the delta; bring the
+        encoded rows and every level's counts/families up to date."""
+        threshold = min_support_count(self.min_support, len(self._window))
+        self._threshold = threshold
+
+        # Dictionary-shift guard: a frequent item outside the alphabet was
+        # dropped from every encoded row — no delta pass can recover its
+        # co-occurrences, so re-encode the window.  (An alphabet item going
+        # infrequent needs nothing: its codes just leave level 1.)
+        for item, count in self._item_counts.items():
+            if count >= threshold and item not in self._dictionary:
+                update.full_rebuild = True
+                update.rebuild_reason = f"new frequent singleton {item!r}"
+                self.full_rebuilds += 1
+                self._rebuild(update)
+                return
+
+        # Encode + compact the delta over the unchanged dictionary, and
+        # fold it into the window's weighted rows.
+        delta_map: dict = {}
+        for txn in delta_txns:
+            enc = self._dictionary.encode_transaction(txn)
+            if len(enc) >= 2:
+                delta_map[enc] = delta_map.get(enc, 0) + 1
+        for enc, mult in delta_map.items():
+            left = self._encoded.get(enc, 0) + sign * mult
+            if left > 0:
+                self._encoded[enc] = left
+            else:
+                self._encoded.pop(enc, None)
+        delta_rows = list(delta_map.items())
+        update.delta_rows = len(delta_rows)
+
+        dictionary = self._dictionary
+        new_f1 = {
+            (dictionary.code(i),)
+            for i, c in self._item_counts.items()
+            if c >= threshold and i in dictionary
+        }
+        changed = new_f1 != self._frequent1
+        self._frequent1 = new_f1
+
+        prev = sorted(new_f1)
+        li = 0
+        k = 2
+        while prev and (self.max_length is None or k <= self.max_length):
+            if li < len(self._levels) and not changed:
+                # Candidate set unchanged (tracked == apriori_gen(prev)):
+                # one delta pass, then re-threshold from exact counts.
+                lvl = self._levels[li]
+                if delta_rows:
+                    for cand, cnt in _count_rows(lvl.store, delta_rows).items():
+                        lvl.counts[cand] += sign * cnt
+                new_frequent = {
+                    c for c, v in lvl.counts.items() if v >= threshold
+                }
+                changed = new_frequent != lvl.frequent
+                lvl.frequent = new_frequent
+                update.delta_candidates += len(lvl.counts)
+                update.levels_delta += 1
+                update.per_level.append(
+                    {"k": k, "mode": "delta",
+                     "delta_candidates": len(lvl.counts), "full_candidates": 0}
+                )
+            else:
+                # A border itemset crossed below (or the level is new):
+                # regenerate the candidate set.  Border-bounded: retained
+                # candidates keep their maintained counts (delta applied);
+                # only genuinely new candidates pay a full-window pass.
+                candidates = apriori_gen(prev)
+                if not candidates:
+                    break
+                old = self._levels[li] if li < len(self._levels) else None
+                old_counts = old.counts if old is not None else {}
+                retained = [c for c in candidates if c in old_counts]
+                fresh = [c for c in candidates if c not in old_counts]
+                store = self._make_store(candidates)
+                counts: dict = {}
+                if retained:
+                    dcounts = _count_rows(store, delta_rows) if delta_rows else {}
+                    for cand in retained:
+                        counts[cand] = old_counts[cand] + sign * dcounts.get(cand, 0)
+                    update.delta_candidates += len(retained)
+                if fresh:
+                    counts.update(self._count_window(self._make_store(fresh), fresh))
+                    update.full_candidates += len(fresh)
+                frequent = {c for c in candidates if counts[c] >= threshold}
+                lvl = _Level(k=k, counts=counts, frequent=frequent, store=store)
+                if old is not None:
+                    changed = frequent != old.frequent
+                    self._levels[li] = lvl
+                else:
+                    changed = True
+                    self._levels.append(lvl)
+                update.levels_remined += 1
+                update.per_level.append(
+                    {"k": k, "mode": "remine",
+                     "delta_candidates": len(retained),
+                     "full_candidates": len(fresh)}
+                )
+            prev = sorted(self._levels[li].frequent)
+            li += 1
+            k += 1
+        del self._levels[li:]
+
+
+def run_incremental(ctx, transactions, config) -> MiningRunResult:
+    """Registry-shaped runner for ``MiningConfig(incremental=True)``.
+
+    A one-shot incremental run is a cold build — byte-identical itemsets
+    to the exact miners — and exists so the same config flows through
+    ``mine_frequent_itemsets``, the CLI, and the serving tier (where the
+    built state is kept warm and appends become delta updates).
+
+    Store choice mirrors ``_with_store``: an explicit
+    ``options["candidate_store"]`` wins, then a non-default
+    ``config.candidate_store``; the incremental default is ``bitmap``.
+    """
+    options = dict(config.options)
+    store = options.pop("candidate_store", None) or (
+        config.candidate_store if config.candidate_store != "hashtree" else "bitmap"
+    )
+    miner = IncrementalMiner(
+        transactions,
+        config.min_support,
+        max_length=config.max_length,
+        candidate_store=store,
+        num_partitions=config.num_partitions,
+        ctx=ctx,
+    )
+    return miner.result()
+
+
+__all__ = ["IncrementalMiner", "IncrementalUpdate", "run_incremental"]

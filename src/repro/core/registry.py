@@ -67,6 +67,10 @@ class MiningConfig:
     approx_samples: int = 4
     approx_ratio: float = 0.8
     sample_frac: float = 0.1
+    #: incremental tier (repro.core.incremental): the run builds (or, in
+    #: the serving tier, reuses) delta-maintainable sliding-window state
+    #: instead of dispatching ``algorithm``; results are exact
+    incremental: bool = False
     options: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -85,6 +89,12 @@ class MiningConfig:
         if not 0.0 < self.sample_frac <= 1.0:
             raise MiningError(
                 f"sample_frac must be in (0, 1], got {self.sample_frac}"
+            )
+        if self.approx and self.incremental:
+            raise MiningError(
+                "approx and incremental are mutually exclusive: the sampling "
+                "tier is probabilistic, the incremental tier maintains exact "
+                "counts"
             )
         # Mirror make_executor's named-backends pattern: an unknown store
         # name fails at config construction with the registered choices,
@@ -116,6 +126,7 @@ class MiningConfig:
             "num_partitions": self.num_partitions,
             "candidate_store": self.candidate_store,
             "approx": self.approx,
+            "incremental": self.incremental,
             "options": {str(k): self.options[k] for k in sorted(self.options, key=str)},
         }
         if self.approx:
@@ -236,6 +247,14 @@ def run_algorithm(
         from repro.core.approx import run_approx
 
         runner = run_approx
+    elif config.incremental:
+        # The incremental tier likewise replaces the configured algorithm:
+        # a one-shot run is a cold build of the delta-maintainable window
+        # state (identical itemsets); the serving tier keeps that state
+        # warm so dataset appends become delta updates.
+        from repro.core.incremental import run_incremental
+
+        runner = run_incremental
     elif not spec.needs_engine:
         return spec.runner(txns, config)
     else:

@@ -69,6 +69,11 @@ class IterationStats:
     shuffle_records: int = 0  # records written to shuffle buckets (post map-side combine)
     counting_records: int = 0  # records entering the shuffle-map combine ("allocated pairs")
     compaction: CompactionStats | None = None  # working-set shrink applied after this pass
+    # incremental-update observability (repro.core.incremental): how this
+    # level's counts were brought current on the last append/retire
+    delta_rows: int = 0  # physical (deduplicated) delta rows counted
+    delta_candidates: int = 0  # candidates maintained by a delta-only pass
+    full_candidates: int = 0  # candidates re-counted over the full window
 
 
 def engine_iteration_stats(

@@ -12,13 +12,16 @@ two transports.  See ``docs/serving.md``.
 from repro.serve.cache import (
     ContextPool,
     DatasetCache,
+    FingerprintChain,
     LruByteCache,
     ResultCache,
     dataset_fingerprint,
 )
 from repro.serve.client import HttpClient, LocalClient
+from repro.serve.datasets import DatasetRegistry, ManagedDataset
 from repro.serve.http import MiningServer, config_from_dict
 from repro.serve.jobs import (
+    ApiError,
     Job,
     JobRequest,
     JobState,
@@ -32,10 +35,13 @@ from repro.serve.service import LatencyHistogram, MiningService
 from repro.serve.shard import HashRing, Shard
 
 __all__ = [
+    "ApiError",
     "ContextPool",
     "CostPlanner",
     "DatasetCache",
+    "DatasetRegistry",
     "DatasetStats",
+    "FingerprintChain",
     "HashRing",
     "HttpClient",
     "Job",
@@ -44,6 +50,7 @@ __all__ = [
     "LatencyHistogram",
     "LocalClient",
     "LruByteCache",
+    "ManagedDataset",
     "MiningServer",
     "MiningService",
     "PlanDecision",

@@ -31,26 +31,66 @@ from collections.abc import Iterable, Sequence
 from repro.common.sizeof import estimate_size
 
 
-def dataset_fingerprint(transactions: Iterable[Sequence]) -> str:
-    """Content hash of a transaction list (hex sha256, order-sensitive).
+class FingerprintChain:
+    """Incrementally extendable dataset fingerprint.
+
+    The fingerprint is one sha256 stream over length-prefixed chunks of
+    length-prefixed transactions, so appending a delta only hashes the
+    delta: the chain keeps the running hasher and ``extend`` feeds it the
+    new transactions, yielding the *new version's* fingerprint without
+    re-reading the window.  Because a sha256 stream is chunking-invariant,
+    the digest is **byte-identical** to :func:`dataset_fingerprint` over
+    the concatenated window — one chunk or many, the same hex string —
+    which is what lets the serving tier mix raw-transaction submissions
+    and versioned named datasets in one cache keyspace.
 
     Items are rendered with ``str`` — the same rendering the ``.dat`` file
     format uses — so a dataset fingerprints identically whether it arrived
-    as parsed ints or as strings read back from disk.
-
-    The encoding is injective: every transaction and every rendered item
-    is length-prefixed, so ``[["a b"]]`` and ``[["a", "b"]]`` hash
+    as parsed ints or as strings read back from disk.  The encoding is
+    injective: every transaction and every rendered item is
+    length-prefixed, so ``[["a b"]]`` and ``[["a", "b"]]`` hash
     differently.  (A join on a separator would conflate them, letting one
     tenant's submission silently hit another dataset's cache entry.)
     """
-    h = hashlib.sha256()
-    for txn in transactions:
-        items = [str(i).encode("utf-8") for i in txn]
-        h.update(len(items).to_bytes(4, "big"))
-        for data in items:
-            h.update(len(data).to_bytes(4, "big"))
-            h.update(data)
-    return h.hexdigest()
+
+    __slots__ = ("_h", "n_transactions")
+
+    def __init__(self, transactions: Iterable[Sequence] = ()):
+        self._h = hashlib.sha256()
+        self.n_transactions = 0
+        self.extend(transactions)
+
+    def extend(self, transactions: Iterable[Sequence]) -> str:
+        """Fold a chunk of transactions in; returns the new fingerprint."""
+        h = self._h
+        for txn in transactions:
+            items = [str(i).encode("utf-8") for i in txn]
+            h.update(len(items).to_bytes(4, "big"))
+            for data in items:
+                h.update(len(data).to_bytes(4, "big"))
+                h.update(data)
+            self.n_transactions += 1
+        return h.hexdigest()
+
+    def hexdigest(self) -> str:
+        """The current version's fingerprint (does not consume the chain)."""
+        return self._h.hexdigest()
+
+    def copy(self) -> "FingerprintChain":
+        """An independent chain at the same position (what-if appends)."""
+        clone = object.__new__(FingerprintChain)
+        clone._h = self._h.copy()
+        clone.n_transactions = self.n_transactions
+        return clone
+
+
+def dataset_fingerprint(transactions: Iterable[Sequence]) -> str:
+    """Content hash of a transaction list (hex sha256, order-sensitive).
+
+    The single-chunk form of :class:`FingerprintChain` — see there for
+    the encoding contract.
+    """
+    return FingerprintChain(transactions).hexdigest()
 
 
 class LruByteCache:
@@ -94,6 +134,16 @@ class LruByteCache:
                 _, (_, evicted_size) = self._entries.popitem(last=False)
                 self.current_bytes -= evicted_size
                 self.evictions += 1
+
+    def remove(self, key: str) -> bool:
+        """Drop an entry outright (dataset mutated, not evicted for space);
+        True when it was present.  Counted separately from evictions."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self.current_bytes -= entry[1]
+            return True
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
@@ -173,6 +223,7 @@ class ResultCache:
         self.evictions = 0
         self.expirations = 0
         self.upgrades = 0
+        self.invalidations = 0
 
     def _forget_approx_locked(self, key: tuple) -> None:
         """Entry ``key`` left the cache: drop its approx-index row (both
@@ -264,6 +315,26 @@ class ResultCache:
             self._exact_of[key] = exact_key
             self._evict_over_budget_locked()
 
+    def invalidate_dataset(self, fingerprint: str) -> int:
+        """Drop every entry cached for ``fingerprint`` (the dataset was
+        mutated — a stale version must be invalidated, never served).
+
+        Prunes the approx exact-twin index both ways: a removed approx
+        entry leaves its index row, and a removed exact entry's pending
+        approx keys are forgotten so a later :meth:`put` under a reused
+        key cannot "upgrade" entries of a window that no longer exists.
+        Returns the number of entries removed (``invalidations`` stat).
+        """
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == fingerprint]
+            for key in stale:
+                del self._entries[key]
+                self._forget_approx_locked(key)
+                for approx_key in self._approx_for.pop(key, ()):
+                    self._exact_of.pop(approx_key, None)
+            self.invalidations += len(stale)
+            return len(stale)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -284,6 +355,7 @@ class ResultCache:
                 "evictions": self.evictions,
                 "expirations": self.expirations,
                 "upgrades": self.upgrades,
+                "invalidations": self.invalidations,
                 "approx_indexed": sum(len(v) for v in self._approx_for.values()),
                 "hit_rate": round(self.hit_rate, 4),
             }

@@ -17,7 +17,13 @@ import urllib.error
 import urllib.request
 
 from repro.core.registry import MiningConfig
-from repro.serve.jobs import JobState, RejectedError, ServeError, TERMINAL_STATES
+from repro.serve.jobs import (
+    ApiError,
+    JobState,
+    RejectedError,
+    ServeError,
+    TERMINAL_STATES,
+)
 from repro.serve.service import MiningService
 
 #: job states (as strings) in which polling should stop
@@ -49,6 +55,19 @@ class LocalClient:
 
     def submit(self, transactions, config: MiningConfig, **submit_kwargs):
         return self.service.submit(transactions, config, **submit_kwargs)
+
+    def create_dataset(self, dataset_id: str, transactions, *, replace=False) -> dict:
+        return self.service.create_dataset(dataset_id, transactions, replace=replace)
+
+    def append_dataset(
+        self, dataset_id: str, transactions, *, expected_version: int | None = None
+    ) -> dict:
+        return self.service.append_dataset(
+            dataset_id, transactions, expected_version=expected_version
+        )
+
+    def dataset_info(self, dataset_id: str) -> dict:
+        return self.service.dataset_info(dataset_id)
 
     def status(self, job_id: str) -> dict:
         return self.service.get(job_id).snapshot()
@@ -138,8 +157,13 @@ class HttpClient:
                         queue_depth=detail_payload.get("queue_depth"),
                         queue_limit=detail_payload.get("queue_limit"),
                     ) from err
-                raise ServeError(
-                    f"{method} {path} -> HTTP {err.code}: {detail or err.reason}"
+                # structured client error: re-raise with the server's code
+                # so callers branch on ``err.code`` ("version_conflict",
+                # "unknown_dataset"...) instead of parsing message prose
+                raise ApiError(
+                    f"{method} {path} -> HTTP {err.code}: {detail or err.reason}",
+                    status=err.code,
+                    code=detail_payload.get("code", "error"),
                 ) from err
             except (urllib.error.URLError, *_TRANSIENT_CONNECT_ERRORS) as err:
                 if _is_transient(err) and attempt < self.connect_retries:
@@ -169,11 +193,15 @@ class HttpClient:
         tenant: str = "default",
         pinned=(),
         approx: bool = False,
+        dataset: str | None = None,
     ) -> dict:
         """POST the job; returns the server's job snapshot (``job_id`` etc.).
 
         ``approx=True`` requests the sampling fast tier without touching
         the config object (equivalent to ``config.approx = True``).
+        ``dataset`` names a registered dataset instead of shipping raw
+        ``transactions`` (pass ``transactions=None``): the job runs on
+        the dataset's current version, server-side.
         Raises :class:`RejectedError` on a 429 (queue full / load shed);
         its ``retry_after_s`` says how long to back off before retrying.
         """
@@ -185,12 +213,15 @@ class HttpClient:
                 config = dataclasses.replace(config, approx=True)
             config = config.canonical()
         payload = {
-            "transactions": [list(t) for t in transactions],
             "config": config,
             "priority": priority,
             "max_retries": max_retries,
             "tenant": tenant,
         }
+        if dataset is not None:
+            payload["dataset"] = dataset
+        else:
+            payload["transactions"] = [list(t) for t in transactions]
         if pinned:
             payload["pinned"] = sorted(pinned)
         if approx:
@@ -198,6 +229,33 @@ class HttpClient:
         if timeout_s is not None:
             payload["timeout_s"] = timeout_s
         return self._request("POST", "/jobs", payload)
+
+    def create_dataset(
+        self, dataset_id: str, transactions, *, replace: bool = False
+    ) -> dict:
+        """``POST /datasets/<id>``: register a named, versioned dataset."""
+        payload = {"transactions": [list(t) for t in transactions]}
+        if replace:
+            payload["replace"] = True
+        return self._request("POST", f"/datasets/{dataset_id}", payload)
+
+    def append_dataset(
+        self, dataset_id: str, transactions, *, expected_version: int | None = None
+    ) -> dict:
+        """``POST /datasets/<id>/append``: new version, stale caches dropped.
+
+        Raises :class:`~repro.serve.jobs.ApiError` with
+        ``code="version_conflict"`` when ``expected_version`` no longer
+        matches, or ``code="unknown_dataset"`` for an unregistered name.
+        """
+        payload = {"transactions": [list(t) for t in transactions]}
+        if expected_version is not None:
+            payload["expected_version"] = expected_version
+        return self._request("POST", f"/datasets/{dataset_id}/append", payload)
+
+    def dataset_info(self, dataset_id: str) -> dict:
+        """``GET /datasets/<id>``: version, size, fingerprint, warm miners."""
+        return self._request("GET", f"/datasets/{dataset_id}")
 
     def status(self, job_id: str) -> dict:
         return self._request("GET", f"/jobs/{job_id}")

@@ -1,0 +1,159 @@
+"""Named, versioned, append-only datasets for the serving tier.
+
+A raw ``submit(transactions, ...)`` identifies its dataset by content
+fingerprint — immutable by construction.  Sliding-window workloads need
+the opposite: one *name* whose contents grow over time, with every
+append producing a new **version** (and a new fingerprint, via the
+incrementally-extendable :class:`~repro.serve.cache.FingerprintChain`)
+so results cached for a stale version are invalidated rather than
+served.
+
+:class:`DatasetRegistry` is the name → :class:`ManagedDataset` map a
+:class:`~repro.serve.service.MiningService` owns.  Each entry carries
+the current window, its version counter and fingerprint chain, and the
+dataset's **warm incremental miners** — one
+:class:`~repro.core.incremental.IncrementalMiner` per mining key, kept
+resident so a re-submit after an append pays one delta pass instead of
+a full re-mine.  In router mode every dataset has a single home shard
+(consistent-hashed on the *name*, which — unlike the fingerprint — is
+stable across appends), so the warm state is never split.
+
+All mutation happens under the entry's :attr:`ManagedDataset.lock`;
+the registry lock only guards the name map.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterable, Sequence
+
+from repro.serve.cache import FingerprintChain
+from repro.serve.jobs import ApiError
+
+
+class ManagedDataset:
+    """One named dataset: window, version, fingerprint chain, warm miners."""
+
+    def __init__(self, dataset_id: str, transactions: Iterable[Sequence]):
+        self.dataset_id = dataset_id
+        self.transactions: list = list(transactions)
+        if not self.transactions:
+            raise ApiError(
+                f"dataset {dataset_id!r} must contain at least one transaction"
+            )
+        self.version = 1
+        self.chain = FingerprintChain(self.transactions)
+        self.fingerprint = self.chain.hexdigest()
+        #: version -> that version's fingerprint.  Appends only ever
+        #: extend, so "job snapshot (version, fingerprint) is in here"
+        #: proves the snapshot is a prefix of the current window — the
+        #: O(1) guard the warm-miner path uses against same-name replace.
+        self.versions: dict[int, str] = {1: self.fingerprint}
+        self.created_s = time.monotonic()
+        self.updated_s = self.created_s
+        #: serializes appends, submit snapshots, and warm-miner updates
+        self.lock = threading.RLock()
+        #: (min_support, max_length, candidate_store) -> IncrementalMiner
+        self.miners: dict[tuple, object] = {}
+
+    def append(self, transactions: Iterable[Sequence]) -> tuple[str, str]:
+        """Extend the window in place (caller holds :attr:`lock`).
+
+        Returns ``(old_fingerprint, new_fingerprint)`` so the owning
+        service can invalidate the stale version's cache entries.  Only
+        the delta is hashed — the chain never re-reads the window.
+        """
+        delta = list(transactions)
+        if not delta:
+            raise ApiError("append requires at least one transaction")
+        old_fp = self.fingerprint
+        self.transactions.extend(delta)
+        self.fingerprint = self.chain.extend(delta)
+        self.version += 1
+        self.versions[self.version] = self.fingerprint
+        self.updated_s = time.monotonic()
+        return old_fp, self.fingerprint
+
+    def info(self) -> dict:
+        """JSON-safe summary (the ``GET /datasets/<id>`` payload)."""
+        with self.lock:
+            return {
+                "dataset_id": self.dataset_id,
+                "version": self.version,
+                "n_transactions": len(self.transactions),
+                "fingerprint": self.fingerprint,
+                "warm_miners": len(self.miners),
+            }
+
+
+class DatasetRegistry:
+    """Thread-safe name → :class:`ManagedDataset` map."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._datasets: dict[str, ManagedDataset] = {}
+        self.creates = 0
+        self.appends = 0
+
+    def create(
+        self,
+        dataset_id: str,
+        transactions: Iterable[Sequence],
+        *,
+        replace: bool = False,
+    ) -> tuple[ManagedDataset, str | None]:
+        """Register a new dataset; returns ``(entry, replaced_fingerprint)``.
+
+        ``replaced_fingerprint`` is the old version's fingerprint when
+        ``replace=True`` overwrote an existing entry (its cache entries
+        must be invalidated), else ``None``.  Without ``replace``, a
+        duplicate name raises :class:`ApiError` 409 ``dataset_exists``.
+        """
+        if not dataset_id or not isinstance(dataset_id, str):
+            raise ApiError(
+                f"dataset_id must be a non-empty string, got {dataset_id!r}"
+            )
+        entry = ManagedDataset(dataset_id, transactions)
+        with self._lock:
+            old = self._datasets.get(dataset_id)
+            if old is not None and not replace:
+                raise ApiError(
+                    f"dataset {dataset_id!r} already exists",
+                    status=409,
+                    code="dataset_exists",
+                )
+            self._datasets[dataset_id] = entry
+            self.creates += 1
+        return entry, (old.fingerprint if old is not None else None)
+
+    def get(self, dataset_id: str) -> ManagedDataset:
+        with self._lock:
+            entry = self._datasets.get(dataset_id)
+        if entry is None:
+            raise ApiError(
+                f"unknown dataset {dataset_id!r}", status=404, code="unknown_dataset"
+            )
+        return entry
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._datasets)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._datasets)
+
+    def stats(self) -> dict:
+        with self._lock:
+            entries = list(self._datasets.values())
+            creates, appends = self.creates, self.appends
+        return {
+            "datasets": len(entries),
+            "creates": creates,
+            "appends": appends,
+            "warm_miners": sum(len(e.miners) for e in entries),
+        }
+
+
+__all__ = ["DatasetRegistry", "ManagedDataset"]

@@ -2,21 +2,38 @@
 
 JSON over ``http.server`` — no third-party dependencies:
 
-=======================  ====================================================
-``POST /jobs``           submit ``{"transactions": [[...], ...],
-                         "config": {"min_support": ..., ...},
-                         "priority"/"timeout_s"/"max_retries"/"tenant"/
-                         "pinned"/"approx"}`` → 202 with the job snapshot (200 when
-                         memoized; 429 + ``Retry-After`` when admission
-                         control or load shedding rejects)
-``GET /jobs/<id>``       lifecycle snapshot (state, attempts, timings...)
-``DELETE /jobs/<id>``    cancel (queued or running)
-``GET /results/<id>``    mined itemsets once DONE (409 with the state
-                         while the job is still in flight)
-``GET /healthz``         liveness + worker count
-``GET /metrics``         queue depth, per-state job counts, cache hit
-                         rates, per-job engine-metrics summaries
-=======================  ====================================================
+==========================  =================================================
+``POST /jobs``              submit ``{"transactions": [[...], ...] |
+                            "dataset": "<id>",
+                            "config": {"min_support": ..., ...},
+                            "priority"/"timeout_s"/"max_retries"/"tenant"/
+                            "pinned"/"approx"}`` → 202 with the job snapshot
+                            (200 when memoized; 429 + ``Retry-After`` when
+                            admission control or load shedding rejects)
+``GET /jobs/<id>``          lifecycle snapshot (state, attempts, timings...)
+``DELETE /jobs/<id>``       cancel (queued or running)
+``GET /results/<id>``       mined itemsets once DONE (409 with the state
+                            while the job is still in flight)
+``POST /datasets/<id>``     register a named, versioned dataset
+                            ``{"transactions": [...], "replace": bool}``
+                            (409 ``dataset_exists`` on duplicate names)
+``POST /datasets/<id>/append``  append ``{"transactions": [...],
+                            "expected_version": int?}``: new version + new
+                            fingerprint, stale cached results invalidated
+                            (409 ``version_conflict``, 404
+                            ``unknown_dataset``)
+``GET /datasets/<id>``      version, size, fingerprint, warm-miner count
+``GET /healthz``            liveness + worker count
+``GET /metrics``            queue depth, per-state job counts, cache hit
+                            rates, per-job engine-metrics summaries
+==========================  =================================================
+
+Error responses carry a machine-usable ``code`` next to the human
+``error`` message (``bad_request``, ``unknown_job``, ``unknown_dataset``,
+``dataset_exists``, ``version_conflict``, ``not_done``, ``rejected``,
+``unknown_route``) — :class:`~repro.serve.client.HttpClient` re-raises
+them as :class:`~repro.serve.jobs.ApiError` so callers branch on the
+code, not on message prose.
 
 ``MiningServer`` runs the whole stack in-process on an ephemeral port —
 the tests and the CI smoke step use it; ``repro serve`` keeps it in the
@@ -34,7 +51,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.common.errors import MiningError
 from repro.core.registry import MiningConfig
-from repro.serve.jobs import JobState, RejectedError, ServeError
+from repro.serve.jobs import ApiError, JobState, RejectedError, ServeError
 from repro.serve.planner import CostPlanner
 from repro.serve.router import ShardRouter
 from repro.serve.service import MiningService
@@ -44,9 +61,13 @@ _CONFIG_FIELDS = {f.name for f in dataclass_fields(MiningConfig)}
 #: top-level keys POST /jobs accepts; anything else is a 400 (typos like
 #: ``priorty`` must not silently fall back to defaults)
 _SUBMIT_FIELDS = {
-    "transactions", "config", "priority", "timeout_s", "max_retries",
-    "tenant", "pinned", "approx",
+    "transactions", "dataset", "config", "priority", "timeout_s",
+    "max_retries", "tenant", "pinned", "approx",
 }
+
+#: body keys for POST /datasets/<id> and POST /datasets/<id>/append
+_CREATE_FIELDS = {"transactions", "replace"}
+_APPEND_FIELDS = {"transactions", "expected_version"}
 
 
 def config_from_dict(payload: dict) -> MiningConfig:
@@ -142,8 +163,22 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             return self.service.get(job_id)
         except ServeError:
-            self._send_json(404, {"error": f"unknown job {job_id!r}"})
+            self._send_json(
+                404, {"error": f"unknown job {job_id!r}", "code": "unknown_job"}
+            )
             return None
+
+    def _no_route(self, method: str) -> None:
+        self._send_json(
+            404,
+            {"error": f"no route for {method} {self.path}", "code": "unknown_route"},
+        )
+
+    def _txns_from(self, payload: dict) -> list:
+        transactions = payload.get("transactions")
+        if not isinstance(transactions, list) or not transactions:
+            raise ServeError("transactions must be a non-empty list of lists")
+        return transactions
 
     # -- routes ------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
@@ -165,62 +200,130 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._send_json(
                     409,
-                    {"error": f"job is {job.state.value}, not done", **job.snapshot()},
+                    {
+                        "error": f"job is {job.state.value}, not done",
+                        "code": "not_done",
+                        **job.snapshot(),
+                    },
                 )
+        elif path.startswith("/datasets/"):
+            dataset_id = path.removeprefix("/datasets/")
+            if not dataset_id or "/" in dataset_id:
+                self._no_route("GET")
+                return
+            try:
+                self._send_json(200, self.service.dataset_info(dataset_id))
+            except ApiError as err:
+                self._send_json(err.status, err.payload())
         else:
-            self._send_json(404, {"error": f"no route for GET {self.path}"})
+            self._no_route("GET")
 
     def do_POST(self) -> None:  # noqa: N802
-        if self.path.rstrip("/") != "/jobs":
-            self._send_json(404, {"error": f"no route for POST {self.path}"})
-            return
+        path = self.path.rstrip("/")
         try:
-            payload = self._read_json()
-            unknown = set(payload) - _SUBMIT_FIELDS
-            if unknown:
-                raise ServeError(
-                    f"unknown field(s) {sorted(unknown)}; "
-                    f"valid: {sorted(_SUBMIT_FIELDS)}"
-                )
-            transactions = payload.get("transactions")
-            if not isinstance(transactions, list) or not transactions:
-                raise ServeError("transactions must be a non-empty list of lists")
-            config_payload = payload.get("config") or {}
-            config = config_from_dict(config_payload)
-            if payload.get("approx"):
-                # top-level sugar for the fast tier: flips the config
-                # knob without the client rebuilding the config object
-                config = dc_replace(config, approx=True)
-            submit_kwargs = dict(
-                priority=int(payload.get("priority", 0)),
-                timeout_s=payload.get("timeout_s"),
-                max_retries=int(payload.get("max_retries", 0)),
-                tenant=str(payload.get("tenant", "default")),
-            )
-            if isinstance(self.service, ShardRouter):
-                # a knob is pinned when its value is non-default or when it
-                # is named here — "pinned" lets a caller force-keep a
-                # default-valued knob the planner would otherwise choose
-                submit_kwargs["pinned"] = set(payload.get("pinned") or ())
-            job = self.service.submit(transactions, config, **submit_kwargs)
+            if path == "/jobs":
+                self._post_job()
+            elif path.startswith("/datasets/"):
+                rest = path.removeprefix("/datasets/")
+                if rest.endswith("/append") and rest.removesuffix("/append"):
+                    dataset_id = rest.removesuffix("/append")
+                    if "/" in dataset_id:
+                        self._no_route("POST")
+                        return
+                    self._post_append(dataset_id)
+                elif rest and "/" not in rest:
+                    self._post_create(rest)
+                else:
+                    self._no_route("POST")
+            else:
+                self._no_route("POST")
         except RejectedError as err:
             # admission control / load shedding: structured 429 with a
             # machine-usable backoff hint (integer seconds per RFC 9110,
             # fractional seconds in the body)
             self._send_json(
                 429,
-                err.payload(),
+                {**err.payload(), "code": "rejected"},
                 headers={"Retry-After": str(max(1, math.ceil(err.retry_after_s)))},
             )
-            return
+        except ApiError as err:
+            # requests the service refused with a specific status + code
+            # (unknown_dataset, dataset_exists, version_conflict...)
+            self._send_json(err.status, err.payload())
         except (ServeError, MiningError, TypeError, ValueError) as err:
             # TypeError/ValueError cover malformed-but-valid-JSON payloads:
             # a string min_support tripping __post_init__'s comparison, a
             # non-numeric priority, a non-iterable transaction element hit
             # during fingerprinting — all client errors, not server faults.
-            self._send_json(400, {"error": str(err)})
-            return
+            self._send_json(400, {"error": str(err), "code": "bad_request"})
+
+    def _post_job(self) -> None:
+        payload = self._read_json()
+        unknown = set(payload) - _SUBMIT_FIELDS
+        if unknown:
+            raise ServeError(
+                f"unknown field(s) {sorted(unknown)}; "
+                f"valid: {sorted(_SUBMIT_FIELDS)}"
+            )
+        dataset = payload.get("dataset")
+        transactions = None
+        if dataset is not None:
+            if payload.get("transactions") is not None:
+                raise ServeError("pass transactions or dataset, not both")
+            if not isinstance(dataset, str) or not dataset:
+                raise ServeError("dataset must be a non-empty dataset id string")
+        else:
+            transactions = self._txns_from(payload)
+        config_payload = payload.get("config") or {}
+        config = config_from_dict(config_payload)
+        if payload.get("approx"):
+            # top-level sugar for the fast tier: flips the config
+            # knob without the client rebuilding the config object
+            config = dc_replace(config, approx=True)
+        submit_kwargs = dict(
+            priority=int(payload.get("priority", 0)),
+            timeout_s=payload.get("timeout_s"),
+            max_retries=int(payload.get("max_retries", 0)),
+            tenant=str(payload.get("tenant", "default")),
+        )
+        if dataset is not None:
+            submit_kwargs["dataset_id"] = dataset
+        if isinstance(self.service, ShardRouter):
+            # a knob is pinned when its value is non-default or when it
+            # is named here — "pinned" lets a caller force-keep a
+            # default-valued knob the planner would otherwise choose
+            submit_kwargs["pinned"] = set(payload.get("pinned") or ())
+        job = self.service.submit(transactions, config, **submit_kwargs)
         self._send_json(200 if job.is_terminal else 202, job.snapshot())
+
+    def _post_create(self, dataset_id: str) -> None:
+        payload = self._read_json()
+        unknown = set(payload) - _CREATE_FIELDS
+        if unknown:
+            raise ServeError(
+                f"unknown field(s) {sorted(unknown)}; valid: {sorted(_CREATE_FIELDS)}"
+            )
+        info = self.service.create_dataset(
+            dataset_id,
+            self._txns_from(payload),
+            replace=bool(payload.get("replace", False)),
+        )
+        self._send_json(201, info)
+
+    def _post_append(self, dataset_id: str) -> None:
+        payload = self._read_json()
+        unknown = set(payload) - _APPEND_FIELDS
+        if unknown:
+            raise ServeError(
+                f"unknown field(s) {sorted(unknown)}; valid: {sorted(_APPEND_FIELDS)}"
+            )
+        expected = payload.get("expected_version")
+        if expected is not None:
+            expected = int(expected)
+        info = self.service.append_dataset(
+            dataset_id, self._txns_from(payload), expected_version=expected
+        )
+        self._send_json(200, info)
 
     def do_DELETE(self) -> None:  # noqa: N802
         path = self.path.rstrip("/")

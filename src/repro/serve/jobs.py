@@ -31,6 +31,26 @@ class ServeError(ReproError):
     """Raised for invalid service requests (unknown job, bad payload...)."""
 
 
+class ApiError(ServeError):
+    """A request the service refuses with a specific HTTP status + code.
+
+    The structured half of the HTTP error contract: the front-end maps it
+    to ``{"error": message, "code": code}`` with status ``status``, and
+    :class:`~repro.serve.client.HttpClient` re-raises it client-side so a
+    caller can branch on ``code`` (``"version_conflict"``,
+    ``"unknown_dataset"``...) instead of parsing prose.
+    """
+
+    def __init__(self, message: str, *, status: int = 400, code: str = "bad_request"):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+    def payload(self) -> dict:
+        """The JSON body the error response carries."""
+        return {"error": str(self), "code": self.code}
+
+
 class RejectedError(ServeError):
     """Admission control refused a job — the 429 of the serving tier.
 
@@ -134,6 +154,11 @@ class Job:
     #: knobs the cost-based planner chose for this job, e.g.
     #: ``{"backend": "serial", "num_partitions": 2}`` (None = no planner)
     planned: dict | None = None
+    #: named-dataset provenance: which managed dataset (and which version
+    #: of it) the job's transaction snapshot came from; None for raw
+    #: transaction submissions
+    dataset_id: str | None = None
+    dataset_version: int | None = None
     #: True when the planner rerouted an exact submission onto the
     #: approximate fast tier — surfaced top-level so a caller who never
     #: asked for approximation sees the substitution in every snapshot,
@@ -178,6 +203,8 @@ class Job:
             "error": self.error,
             "coalesced_with": self.coalesced_with,
             "shard": self.shard,
+            "dataset_id": self.dataset_id,
+            "dataset_version": self.dataset_version,
             "planned": self.planned,
             "fast_tier": self.fast_tier,
             "queued_seconds": round(

@@ -133,6 +133,19 @@ class ShardRouter:
         )
         return self.ring.node_for(fp)
 
+    def dataset_home(self, dataset_id: str) -> str:
+        """Home-shard name for a *named* dataset.
+
+        Keyed on the stable name (``dataset:<id>``), **not** the version
+        fingerprint — an append changes the fingerprint every time, and
+        hashing on it would re-home the dataset away from its warm
+        incremental-miner state on every update.
+        """
+        return self.ring.node_for(f"dataset:{dataset_id}")
+
+    def _dataset_shard(self, dataset_id: str) -> Shard:
+        return self._by_name[self.dataset_home(dataset_id)]
+
     def _global_utilization(self) -> float:
         if not self.queue_limit:
             return 0.0
@@ -149,8 +162,14 @@ class ShardRouter:
         max_retries: int = 0,
         tenant: str = "default",
         pinned=(),
+        dataset_id: str | None = None,
     ) -> Job:
         """Route one job: plan, shed, try home shard, spill along the ring.
+
+        ``dataset_id`` submits against a registered named dataset: the
+        job goes to the dataset's home shard (where the window, registry
+        entry, and warm incremental state live) and never spills — cold
+        state on a neighbour would defeat the point of the append tier.
 
         Raises :class:`RejectedError` when shedding fires or every shard
         in the preference chain refused admission; the error carries the
@@ -159,6 +178,29 @@ class ShardRouter:
         with self._lock:
             if self._shutdown:
                 raise ServeError("router is shut down")
+        if dataset_id is not None:
+            if transactions is not None:
+                raise ServeError("pass transactions or dataset_id, not both")
+            shard = self._dataset_shard(dataset_id)
+            try:
+                job = shard.submit(
+                    None,
+                    config,
+                    home=True,
+                    priority=priority,
+                    timeout_s=timeout_s,
+                    max_retries=max_retries,
+                    tenant=tenant,
+                    dataset_id=dataset_id,
+                )
+            except RejectedError:
+                with self._lock:
+                    self.jobs_rejected += 1
+                raise
+            with self._lock:
+                self.jobs_routed += 1
+                self._job_shard[job.job_id] = shard
+            return job
         txns = transactions if isinstance(transactions, list) else list(transactions)
         fp = dataset_fingerprint(txns)
 
@@ -224,6 +266,27 @@ class ShardRouter:
             queue_depth=sum(s.queue_depth() for s in self.shards),
             queue_limit=(self.queue_limit or 0) * len(self.shards),
         )
+
+    # -- named datasets ----------------------------------------------------
+    def create_dataset(
+        self, dataset_id: str, transactions, *, replace: bool = False
+    ) -> dict:
+        """Register a named dataset on its home shard (see :meth:`dataset_home`)."""
+        return self._dataset_shard(dataset_id).service.create_dataset(
+            dataset_id, transactions, replace=replace
+        )
+
+    def append_dataset(
+        self, dataset_id: str, transactions, *, expected_version: int | None = None
+    ) -> dict:
+        """Append to a named dataset on its home shard — the one whose
+        registry entry, dataset cache, and warm miners hold its state."""
+        return self._dataset_shard(dataset_id).service.append_dataset(
+            dataset_id, transactions, expected_version=expected_version
+        )
+
+    def dataset_info(self, dataset_id: str) -> dict:
+        return self._dataset_shard(dataset_id).service.dataset_info(dataset_id)
 
     # -- planner feedback --------------------------------------------------
     def _on_job_finished(self, job: Job) -> None:

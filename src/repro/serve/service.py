@@ -37,7 +37,15 @@ from collections import deque
 from repro.common.errors import EngineError
 from repro.core.registry import MiningConfig, get_algorithm, run_algorithm
 from repro.serve.cache import ContextPool, DatasetCache, ResultCache
-from repro.serve.jobs import Job, JobRequest, JobState, RejectedError, ServeError
+from repro.serve.datasets import DatasetRegistry
+from repro.serve.jobs import (
+    ApiError,
+    Job,
+    JobRequest,
+    JobState,
+    RejectedError,
+    ServeError,
+)
 
 #: exception types treated as transient (retried with backoff)
 TRANSIENT_ERRORS = (EngineError,)
@@ -161,6 +169,7 @@ class MiningService:
         self.datasets = DatasetCache(dataset_cache_bytes)
         self.results = ResultCache(result_cache_entries, result_ttl_s)
         self.contexts = ContextPool(max_idle_contexts)
+        self.dataset_registry = DatasetRegistry()
         self.default_timeout_s = default_timeout_s
         self.queue_limit = queue_limit
         self.tenant_weights = dict(tenant_weights or {})
@@ -211,11 +220,19 @@ class MiningService:
         retry_backoff_s: float = 0.05,
         tenant: str = "default",
         fingerprint: str | None = None,
+        dataset_id: str | None = None,
     ) -> Job:
         """Queue one mining job; returns immediately with its :class:`Job`.
 
         The job may already be terminal on return: a fresh result-cache hit
         comes back ``DONE`` with ``via="memoized"`` without ever queueing.
+
+        ``dataset_id`` names a registered dataset instead of passing raw
+        ``transactions`` (exactly one of the two): the job snapshots the
+        dataset's *current* version — its transactions and versioned
+        fingerprint — at submit time, so a concurrent append can never
+        change what this job answers for, and a result cached for a
+        pre-append version can never answer it.
 
         Raises :class:`RejectedError` when ``queue_limit`` is set and the
         queue is full — except for memoized hits and coalesced followers,
@@ -230,9 +247,26 @@ class MiningService:
             retry_backoff_s=retry_backoff_s,
             tenant=tenant,
         )
+        dataset_version = None
+        if dataset_id is not None:
+            if transactions is not None:
+                raise ServeError("pass transactions or dataset_id, not both")
+            entry = self.dataset_registry.get(dataset_id)
+            with entry.lock:
+                transactions = list(entry.transactions)
+                fingerprint = entry.fingerprint
+                dataset_version = entry.version
+        elif transactions is None:
+            raise ServeError("submit requires transactions or a dataset_id")
         txns = transactions if isinstance(transactions, list) else list(transactions)
         fingerprint = self.datasets.add(txns, fingerprint)
-        job = Job(request=request, dataset_fingerprint=fingerprint, shard=self.name)
+        job = Job(
+            request=request,
+            dataset_fingerprint=fingerprint,
+            shard=self.name,
+            dataset_id=dataset_id,
+            dataset_version=dataset_version,
+        )
         job._txns = txns  # released in _finish_locked
         key = job.result_key
 
@@ -339,6 +373,62 @@ class MiningService:
             return job
         return None
 
+    # -- named datasets ----------------------------------------------------
+    def create_dataset(
+        self, dataset_id: str, transactions, *, replace: bool = False
+    ) -> dict:
+        """Register a named, versioned dataset; returns its info dict.
+
+        Raises :class:`ApiError` 409 ``dataset_exists`` when the name is
+        taken and ``replace`` is false.  Replacing invalidates every
+        result cached for the old contents.
+        """
+        entry, replaced_fp = self.dataset_registry.create(
+            dataset_id, transactions, replace=replace
+        )
+        if replaced_fp is not None and replaced_fp != entry.fingerprint:
+            self.datasets.remove(replaced_fp)
+            self.results.invalidate_dataset(replaced_fp)
+        with entry.lock:
+            self.datasets.add(list(entry.transactions), entry.fingerprint)
+            return entry.info()
+
+    def append_dataset(
+        self, dataset_id: str, transactions, *, expected_version: int | None = None
+    ) -> dict:
+        """Append transactions to a named dataset (new version, new
+        fingerprint) and invalidate everything cached for the old version.
+
+        ``expected_version`` is optimistic concurrency control: when set
+        and the dataset has moved on, raises :class:`ApiError` 409
+        ``version_conflict`` instead of appending.  The returned info dict
+        carries ``invalidated_results`` — how many stale cached results
+        the append evicted.
+        """
+        entry = self.dataset_registry.get(dataset_id)
+        with entry.lock:
+            if expected_version is not None and entry.version != expected_version:
+                raise ApiError(
+                    f"dataset {dataset_id!r} is at version {entry.version}, "
+                    f"expected {expected_version}",
+                    status=409,
+                    code="version_conflict",
+                )
+            old_fp, new_fp = entry.append(transactions)
+            self.dataset_registry.appends += 1
+            # stale-version hygiene: the old window must never be served
+            # again — drop its parsed copy and every memoized result for it
+            self.datasets.remove(old_fp)
+            invalidated = self.results.invalidate_dataset(old_fp)
+            self.datasets.add(list(entry.transactions), new_fp)
+            info = entry.info()
+        info["invalidated_results"] = invalidated
+        return info
+
+    def dataset_info(self, dataset_id: str) -> dict:
+        """Info dict for a named dataset (404 ``unknown_dataset`` if absent)."""
+        return self.dataset_registry.get(dataset_id).info()
+
     # -- queries -----------------------------------------------------------
     def get(self, job_id: str) -> Job:
         with self._lock:
@@ -434,6 +524,7 @@ class MiningService:
             },
             "tenants": self.tenant_stats(),
             "dataset_cache": self.datasets.stats(),
+            "dataset_registry": self.dataset_registry.stats(),
             "result_cache": self.results.stats(),
             "context_pool": self.contexts.stats(),
             "recent_jobs": recent,
@@ -536,11 +627,20 @@ class MiningService:
                             f"dataset {job.dataset_fingerprint[:12]} lost before run"
                         )
                     self.datasets.add(txns, job.dataset_fingerprint)
-                if config.approx or get_algorithm(config.algorithm).needs_engine:
+                if (
+                    config.approx
+                    or config.incremental
+                    or get_algorithm(config.algorithm).needs_engine
+                ):
                     ctx = self.contexts.acquire(
                         config.backend, config.parallelism, label=job.job_id
                     )
-                box["result"] = run_algorithm(txns, config, ctx=ctx)
+                result = None
+                if config.incremental and job.dataset_id is not None:
+                    result = self._run_incremental_warm(job, txns, ctx)
+                if result is None:
+                    result = run_algorithm(txns, config, ctx=ctx)
+                box["result"] = result
             except BaseException as exc:  # noqa: BLE001 - reported to client
                 box["error"] = exc
             finally:
@@ -565,6 +665,9 @@ class MiningService:
         error = box.get("error")
         if error is None:
             return (JobState.DONE, box["result"], None)
+        if isinstance(error, ApiError):
+            # dataset disappeared mid-run etc.: a client error, not a fault
+            return (JobState.FAILED, None, str(error))
         if (
             isinstance(error, TRANSIENT_ERRORS)
             and job.attempts <= job.request.max_retries
@@ -576,6 +679,63 @@ class MiningService:
             None,
             f"{kind} failure after {job.attempts} attempt(s): {error!r}",
         )
+
+    def _run_incremental_warm(self, job: Job, txns: list, ctx):
+        """Serve an incremental named-dataset job from the dataset's warm
+        :class:`~repro.core.incremental.IncrementalMiner`.
+
+        The first job for a (dataset, mining-key) pair builds the miner
+        (a full mine); every later job pays one delta pass over the
+        transactions appended since the miner's window — the ≥5× update
+        win the incremental tier exists for.  The engine context is only
+        *lent* to the persistent miner for the duration of the call; the
+        miner itself outlives the job inside the dataset entry.
+
+        Returns ``None`` (→ cold ``run_algorithm``) when warm state
+        cannot answer this job's snapshot: the dataset was deleted or
+        replaced, or the miner's window is already ahead of the snapshot
+        (an append landed after this job was submitted — the job must
+        still answer for its own version).
+        """
+        from repro.core.incremental import IncrementalMiner
+
+        config = job.request.config
+        try:
+            entry = self.dataset_registry.get(job.dataset_id)
+        except ServeError:
+            return None
+        store = config.options.get("candidate_store") or (
+            config.candidate_store if config.candidate_store != "hashtree" else "bitmap"
+        )
+        mkey = (config.min_support, config.max_length, store)
+        with entry.lock:
+            if entry.versions.get(job.dataset_version) != job.dataset_fingerprint:
+                return None  # replaced under the same name: snapshot mismatch
+            miner = entry.miners.get(mkey)
+            if miner is None:
+                miner = IncrementalMiner(
+                    txns,
+                    config.min_support,
+                    max_length=config.max_length,
+                    candidate_store=store,
+                    num_partitions=config.num_partitions,
+                    ctx=ctx,
+                )
+                try:
+                    return miner.result()
+                finally:
+                    miner.ctx = None
+                    entry.miners[mkey] = miner
+            if miner.n_transactions > len(txns):
+                return None
+            miner.ctx = ctx
+            try:
+                delta = txns[miner.n_transactions :]
+                if delta:
+                    miner.append(delta)
+                return miner.result()
+            finally:
+                miner.ctx = None
 
     def _finish_locked(
         self,

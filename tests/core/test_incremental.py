@@ -1,0 +1,255 @@
+"""IncrementalMiner: delta maintenance must be invisible in the output.
+
+The contract under test: after ANY sequence of appends and retires, the
+mined itemsets (and their exact counts) equal a cold re-mine of the
+current window by the sequential Apriori oracle.  On top of parity, the
+update-path tests pin *which* mechanism handled each update — pure delta
+pass, border-bounded level re-mine, or the full re-encode fallback —
+since a miner that silently full-rebuilds on every append would pass
+parity while defeating the point.
+"""
+
+import random
+
+import pytest
+
+from repro.common.errors import MiningError
+from repro.core.incremental import IncrementalMiner, run_incremental
+from repro.core.registry import MiningConfig, run_algorithm
+from repro.datasets import mushroom_like, quest_generator
+from repro.engine import Context
+
+STORES = ["hashtree", "trie", "flatdict", "bitmap", "linear"]
+
+
+def oracle(txns, min_support, max_length=None):
+    cfg = MiningConfig(
+        min_support=min_support, algorithm="apriori", max_length=max_length
+    )
+    return run_algorithm(txns, cfg).itemsets
+
+
+@pytest.fixture(scope="module")
+def sparse_pool():
+    ds = quest_generator(
+        n_transactions=220, n_items=30, avg_transaction_size=6.0,
+        n_patterns=12, seed=7,
+    )
+    return [tuple(t) for t in ds.transactions]
+
+
+# Hand-built window where every count is easy to reason about:
+# a=8, b=8, c=12 of 12; at min_support=0.5 (threshold 6) the level-2
+# family is {ac, bc} with {ab} (count 4) on the negative border.
+BORDER_BASE = (
+    [("a", "b", "c")] * 4 + [("a", "c")] * 4 + [("b", "c")] * 4
+)
+
+
+class TestColdBuild:
+    @pytest.mark.parametrize("store", STORES)
+    def test_build_matches_oracle(self, sparse_pool, store):
+        window = sparse_pool[:120]
+        miner = IncrementalMiner(window, 0.08, candidate_store=store)
+        assert miner.itemsets() == oracle(window, 0.08)
+
+    def test_build_update_stats(self):
+        miner = IncrementalMiner(BORDER_BASE, 0.5)
+        upd = miner.last_update
+        assert upd.kind == "build"
+        assert upd.n_transactions == len(BORDER_BASE)
+        assert upd.version == 1
+        assert upd.threshold == miner.threshold == 6
+        assert upd.levels_remined >= 1 and upd.levels_delta == 0
+        assert miner.negative_border(2) and not miner.full_rebuilds
+
+    def test_max_length_respected(self, sparse_pool):
+        window = sparse_pool[:120]
+        miner = IncrementalMiner(window, 0.08, max_length=2)
+        assert miner.itemsets() == oracle(window, 0.08, max_length=2)
+        assert all(len(s) <= 2 for s in miner.itemsets())
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(MiningError):
+            IncrementalMiner([], 0.5)
+
+    def test_bad_support_rejected(self):
+        with pytest.raises(MiningError):
+            IncrementalMiner(BORDER_BASE, 0.0)
+
+
+class TestUpdateMechanisms:
+    def test_pure_delta_append(self):
+        """Re-appending existing rows shifts no family: every level must
+        stay current via its warm store's delta pass alone."""
+        miner = IncrementalMiner(BORDER_BASE, 0.5)
+        upd = miner.append(BORDER_BASE)
+        assert miner.itemsets() == oracle(BORDER_BASE * 2, 0.5)
+        assert not upd.full_rebuild
+        assert upd.levels_remined == 0 and upd.levels_delta >= 1
+        assert upd.delta_candidates > 0 and upd.full_candidates == 0
+        assert all(e["mode"] == "delta" for e in upd.per_level)
+
+    def test_border_crossing_remines_levels_above(self):
+        """Pushing border itemset (a, b) over the threshold changes the
+        level-2 family, so level 3 must be regenerated — and the newly
+        reachable (a, b, c) must be counted over the full window."""
+        miner = IncrementalMiner(BORDER_BASE, 0.5)
+        assert ("a", "b") not in miner.itemsets()
+        upd = miner.append([("a", "b", "c")] * 4)
+        got = miner.itemsets()
+        assert got == oracle(BORDER_BASE + [("a", "b", "c")] * 4, 0.5)
+        assert got[("a", "b")] == 8 and got[("a", "b", "c")] == 8
+        assert not upd.full_rebuild
+        assert upd.levels_delta >= 1  # level 2 rode its delta pass
+        assert upd.levels_remined >= 1  # level 3 was regenerated
+        assert upd.full_candidates > 0  # ...and (a,b,c) took a full pass
+
+    def test_retire_lowers_threshold_and_crosses_border(self):
+        """Retiring rows shrinks the window, so a border itemset whose
+        count never moved can cross *upward* — retire must re-threshold."""
+        window = (
+            [("a",)] * 3 + [("b",)] * 3 + [("a", "b")] * 4
+            + [("a",)] * 2 + [("b",)] * 2
+        )
+        miner = IncrementalMiner(window, 0.5)
+        assert ("a", "b") not in miner.itemsets()  # 4 < ceil(14/2)
+        upd = miner.retire(6)
+        assert upd.kind == "retire" and not upd.full_rebuild
+        got = miner.itemsets()
+        assert got == oracle(window[6:], 0.5)
+        assert got[("a", "b")] == 4  # count unchanged, threshold now 4
+        assert miner.n_transactions == 8
+
+    def test_new_frequent_singleton_forces_full_rebuild(self):
+        """An item absent from the dictionary was dropped from every
+        encoded row — once it turns frequent, only a re-encode can
+        recover its co-occurrences (the acceptance-required fallback)."""
+        base = [("a", "b")] * 6 + [("a",)] * 2
+        miner = IncrementalMiner(base, 0.5)
+        delta = [("z", "a")] * 8
+        upd = miner.append(delta)
+        assert upd.full_rebuild
+        assert "z" in upd.rebuild_reason
+        assert miner.full_rebuilds == 1
+        got = miner.itemsets()
+        assert got == oracle(base + delta, 0.5)
+        assert got[("a", "z")] == 8
+
+    def test_infrequent_dropout_needs_no_rebuild(self):
+        """The reverse shift — a dictionary item going infrequent — must
+        NOT rebuild: its codes simply leave level 1."""
+        base = [("a", "b")] * 6 + [("a",)] * 2
+        miner = IncrementalMiner(base, 0.5)
+        upd = miner.append([("a",)] * 8)  # b: 6 of 16 < threshold 8
+        assert not upd.full_rebuild
+        got = miner.itemsets()
+        assert got == oracle(base + [("a",)] * 8, 0.5)
+        assert ("b",) not in got
+
+    def test_noop_updates(self):
+        miner = IncrementalMiner(BORDER_BASE, 0.5)
+        before = miner.itemsets()
+        assert miner.append([]).n_delta == 0
+        assert miner.retire(0).n_delta == 0
+        assert miner.itemsets() == before
+        with pytest.raises(MiningError):
+            miner.retire(len(BORDER_BASE))
+
+    def test_version_and_threshold_tracking(self):
+        miner = IncrementalMiner(BORDER_BASE, 0.5)
+        v0 = miner.version
+        upd = miner.append([("a", "c")] * 2)
+        assert miner.version == v0 + 1 == upd.version
+        assert upd.n_transactions == miner.n_transactions == 14
+        assert upd.threshold == miner.threshold == 7
+
+    def test_negative_border_level_one(self):
+        miner = IncrementalMiner(BORDER_BASE + [("d",)], 0.5)
+        assert ("d",) in miner.negative_border(1)
+        assert miner.negative_border(2).isdisjoint(
+            set(lvl for lvl in miner.itemsets() if len(lvl) == 2)
+        )
+
+
+class TestRandomizedOracleParity:
+    """The acceptance grid: random append/retire sequences, every store,
+    every backend, always byte-identical to a cold oracle re-mine."""
+
+    @pytest.mark.parametrize("store", STORES)
+    def test_random_sequences_every_store(self, sparse_pool, store):
+        rng = random.Random(hash(store) & 0xFFFF)
+        window = list(sparse_pool[:100])
+        cursor = 100
+        miner = IncrementalMiner(window, 0.08, candidate_store=store)
+        for _ in range(6):
+            if cursor < len(sparse_pool) and (len(window) < 40 or rng.random() < 0.6):
+                n = rng.randint(1, min(20, len(sparse_pool) - cursor))
+                delta = sparse_pool[cursor:cursor + n]
+                cursor += n
+                window.extend(delta)
+                miner.append(delta)
+            else:
+                n = rng.randint(1, max(1, len(window) // 4))
+                del window[:n]
+                miner.retire(n)
+            assert miner.itemsets() == oracle(window, 0.08)
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_engine_backed_full_passes(self, sparse_pool, backend):
+        """With a ctx attached, full-window passes (build + rebuild +
+        border re-mines) run as engine jobs; parity must survive all
+        three backends."""
+        window = list(sparse_pool[:80])
+        with Context(backend=backend, parallelism=2) as ctx:
+            miner = IncrementalMiner(
+                window, 0.08, candidate_store="bitmap",
+                num_partitions=2, ctx=ctx,
+            )
+            delta = sparse_pool[80:110]
+            window.extend(delta)
+            miner.append(delta)
+            assert miner.itemsets() == oracle(window, 0.08)
+            del window[:25]
+            miner.retire(25)
+            assert miner.itemsets() == oracle(window, 0.08)
+
+    def test_dense_dataset_parity(self):
+        ds = mushroom_like(scale=0.02, seed=11)
+        window = [tuple(t) for t in ds.transactions]
+        base, delta = window[:-8], window[-8:]
+        miner = IncrementalMiner(base, 0.4, max_length=3)
+        miner.append(delta)
+        assert miner.itemsets() == oracle(window, 0.4, max_length=3)
+
+
+class TestResultAndRegistry:
+    def test_result_shape(self):
+        miner = IncrementalMiner(BORDER_BASE, 0.5)
+        miner.append(BORDER_BASE)
+        result = miner.result()
+        assert result.algorithm == "incremental"
+        assert result.itemsets == miner.itemsets()
+        assert result.n_transactions == miner.n_transactions
+        assert result.iterations[0].k == 1
+        assert result.iterations[0].n_candidates == 3  # a, b, c
+        lvl2 = result.iterations[1]
+        assert lvl2.delta_rows > 0 and lvl2.delta_candidates > 0
+
+    def test_config_dispatch_matches_exact_miners(self, sparse_pool):
+        window = sparse_pool[:120]
+        cfg = MiningConfig(min_support=0.08, incremental=True, backend="serial")
+        got = run_algorithm(window, cfg).itemsets
+        assert got == oracle(window, 0.08)
+
+    def test_run_incremental_store_resolution(self, sparse_pool):
+        window = sparse_pool[:60]
+        cfg = MiningConfig(
+            min_support=0.1, incremental=True,
+            options={"candidate_store": "trie"},
+        )
+        assert run_incremental(None, window, cfg).itemsets == oracle(window, 0.1)
+        cfg2 = MiningConfig(
+            min_support=0.1, incremental=True, candidate_store="flatdict"
+        )
+        assert run_incremental(None, window, cfg2).itemsets == oracle(window, 0.1)

@@ -1,0 +1,384 @@
+"""Named datasets: versioned fingerprints, stale-result invalidation,
+warm incremental miners, and name-stable routing.
+
+The load-bearing invariant (pinned here in exact, approx, and HTTP
+flavours): once a dataset is appended to, no job submitted afterwards is
+ever answered from a result memoized before the append.
+"""
+
+import pytest
+
+from repro.core.api import mine_frequent_itemsets
+from repro.core.registry import MiningConfig
+from repro.serve import (
+    ApiError,
+    DatasetRegistry,
+    FingerprintChain,
+    HttpClient,
+    LruByteCache,
+    MiningServer,
+    MiningService,
+    ResultCache,
+    ServeError,
+    ShardRouter,
+    dataset_fingerprint,
+)
+
+BASE = [("a", "b", "c")] * 4 + [("a", "c")] * 4 + [("b", "c")] * 4
+DELTA = [("a", "b", "c")] * 4
+CFG = MiningConfig(min_support=0.5, backend="serial")
+INC = MiningConfig(min_support=0.5, backend="serial", incremental=True)
+
+
+def oracle(txns, config=CFG):
+    exact = MiningConfig(min_support=config.min_support, backend="serial")
+    return mine_frequent_itemsets(txns, config=exact).itemsets
+
+
+class TestFingerprintChain:
+    def test_chained_equals_one_shot(self):
+        txns = BASE + DELTA + [("x", "y")]
+        for split1 in (0, 1, 5, len(BASE)):
+            chain = FingerprintChain(txns[:split1])
+            chain.extend(txns[split1:split1 + 3])
+            final = chain.extend(txns[split1 + 3:])
+            assert final == dataset_fingerprint(txns)  # byte-identical
+            assert chain.hexdigest() == final
+            assert chain.n_transactions == len(txns)
+
+    def test_every_version_is_a_real_fingerprint(self):
+        chain = FingerprintChain(BASE)
+        assert chain.hexdigest() == dataset_fingerprint(BASE)
+        v2 = chain.extend(DELTA)
+        assert v2 == dataset_fingerprint(BASE + DELTA)
+
+    def test_copy_is_independent(self):
+        chain = FingerprintChain(BASE)
+        clone = chain.copy()
+        clone.extend(DELTA)
+        assert chain.hexdigest() == dataset_fingerprint(BASE)
+        assert clone.hexdigest() == dataset_fingerprint(BASE + DELTA)
+        assert clone.n_transactions == len(BASE) + len(DELTA)
+
+    def test_injective_encoding(self):
+        assert dataset_fingerprint([["a b"]]) != dataset_fingerprint([["a", "b"]])
+        assert dataset_fingerprint([["ab"], ["c"]]) != dataset_fingerprint(
+            [["ab", "c"]]
+        )
+
+    def test_int_str_render_identically(self):
+        assert dataset_fingerprint([[1, 2], [3]]) == dataset_fingerprint(
+            [["1", "2"], ["3"]]
+        )
+
+
+class TestLruByteCacheRemove:
+    def test_remove_present(self):
+        cache = LruByteCache(1 << 20)
+        cache.put("k", [1, 2, 3])
+        assert cache.remove("k") is True
+        assert "k" not in cache and cache.current_bytes == 0
+        assert cache.evictions == 0  # mutation, not pressure
+
+    def test_remove_absent(self):
+        cache = LruByteCache(1 << 20)
+        assert cache.remove("missing") is False
+
+
+class TestResultCacheInvalidation:
+    def test_drops_only_the_stale_fingerprint(self):
+        cache = ResultCache(max_entries=16, ttl_s=60.0)
+        cache.put(("fp1", "cfgA"), "a1")
+        cache.put(("fp1", "cfgB"), "b1")
+        cache.put(("fp2", "cfgA"), "a2")
+        assert cache.invalidate_dataset("fp1") == 2
+        assert cache.get(("fp1", "cfgA")) is None
+        assert cache.get(("fp2", "cfgA")) == "a2"
+        assert cache.stats()["invalidations"] == 2
+
+    def test_prunes_approx_twin_index(self):
+        """An invalidated approx entry must leave the exact-twin index,
+        and a later exact put under the reused key must not 'upgrade'
+        entries of a window that no longer exists."""
+        cache = ResultCache(max_entries=16, ttl_s=60.0)
+        cache.put_approx(("fp1", "approxK"), "approx", exact_key=("fp1", "exactK"))
+        assert cache.stats()["approx_indexed"] == 1
+        assert cache.invalidate_dataset("fp1") == 1
+        assert cache.stats()["approx_indexed"] == 0
+        cache.put(("fp1", "exactK"), "exact")
+        assert cache.stats()["upgrades"] == 0
+
+    def test_invalidating_exact_forgets_pending_approx_keys(self):
+        cache = ResultCache(max_entries=16, ttl_s=60.0)
+        cache.put_approx(("fp1", "approxK"), "approx", exact_key=("fp1", "exactK"))
+        cache.put(("fp1", "exactK"), "exact")  # upgrades the approx entry
+        assert cache.stats()["upgrades"] == 1
+        assert cache.invalidate_dataset("fp1") == 1
+        assert len(cache) == 0 and cache.stats()["approx_indexed"] == 0
+
+
+class TestDatasetRegistry:
+    def test_create_and_fingerprint(self):
+        reg = DatasetRegistry()
+        entry, replaced = reg.create("w", BASE)
+        assert replaced is None
+        assert entry.version == 1
+        assert entry.fingerprint == dataset_fingerprint(BASE)
+        assert entry.versions == {1: entry.fingerprint}
+
+    def test_duplicate_name_conflicts(self):
+        reg = DatasetRegistry()
+        reg.create("w", BASE)
+        with pytest.raises(ApiError) as err:
+            reg.create("w", BASE)
+        assert err.value.status == 409 and err.value.code == "dataset_exists"
+
+    def test_replace_reports_old_fingerprint(self):
+        reg = DatasetRegistry()
+        entry, _ = reg.create("w", BASE)
+        old_fp = entry.fingerprint
+        entry2, replaced = reg.create("w", DELTA, replace=True)
+        assert replaced == old_fp
+        assert entry2.fingerprint == dataset_fingerprint(DELTA)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ApiError) as err:
+            DatasetRegistry().get("nope")
+        assert err.value.status == 404 and err.value.code == "unknown_dataset"
+        assert err.value.payload() == {
+            "error": str(err.value), "code": "unknown_dataset",
+        }
+
+    def test_append_extends_version_history(self):
+        reg = DatasetRegistry()
+        entry, _ = reg.create("w", BASE)
+        with entry.lock:
+            old_fp, new_fp = entry.append(DELTA)
+        assert entry.version == 2
+        assert old_fp == dataset_fingerprint(BASE)
+        assert new_fp == dataset_fingerprint(BASE + DELTA)
+        assert entry.versions == {1: old_fp, 2: new_fp}
+        assert entry.info()["n_transactions"] == len(BASE) + len(DELTA)
+
+    def test_empty_create_and_append_rejected(self):
+        reg = DatasetRegistry()
+        with pytest.raises(ApiError):
+            reg.create("w", [])
+        entry, _ = reg.create("w2", BASE)
+        with pytest.raises(ApiError):
+            with entry.lock:
+                entry.append([])
+
+
+@pytest.fixture
+def service():
+    with MiningService(n_workers=1, result_ttl_s=60.0) as svc:
+        yield svc
+
+
+class TestServiceDatasets:
+    def test_submit_by_name_matches_direct_mine(self, service):
+        service.create_dataset("w", BASE)
+        job = service.submit(None, CFG, dataset_id="w")
+        assert job.wait(30.0)
+        assert job.result.itemsets == oracle(BASE)
+        assert job.dataset_id == "w" and job.dataset_version == 1
+        assert job.snapshot()["dataset_version"] == 1
+
+    def test_resubmit_memoizes(self, service):
+        service.create_dataset("w", BASE)
+        assert service.submit(None, CFG, dataset_id="w").wait(30.0)
+        again = service.submit(None, CFG, dataset_id="w")
+        assert again.via == "memoized"
+
+    def test_append_never_serves_stale_exact_result(self, service):
+        """Satellite invariant, exact tier: the pre-append memoized
+        result must not answer any post-append submission."""
+        service.create_dataset("w", BASE)
+        pre = service.submit(None, CFG, dataset_id="w")
+        assert pre.wait(30.0)
+        info = service.append_dataset("w", DELTA, expected_version=1)
+        assert info["version"] == 2
+        assert info["invalidated_results"] >= 1
+        post = service.submit(None, CFG, dataset_id="w")
+        assert post.wait(30.0)
+        assert post.via == "run"
+        assert post.dataset_version == 2
+        assert post.result.itemsets == oracle(BASE + DELTA)
+        assert post.result.itemsets != pre.result.itemsets
+
+    def test_append_never_serves_stale_approx_result(self, service):
+        """Same invariant through the approx tier, whose entries are
+        additionally indexed under their exact twin's key."""
+        approx = MiningConfig(
+            min_support=0.5, backend="serial", approx=True,
+            approx_samples=2, sample_frac=0.5,
+        )
+        service.create_dataset("w", BASE)
+        assert service.submit(None, approx, dataset_id="w").wait(30.0)
+        assert service.submit(None, approx, dataset_id="w").via == "memoized"
+        service.append_dataset("w", DELTA)
+        post = service.submit(None, approx, dataset_id="w")
+        assert post.wait(30.0)
+        assert post.via == "run"
+
+    def test_version_conflict(self, service):
+        service.create_dataset("w", BASE)
+        service.append_dataset("w", DELTA, expected_version=1)
+        with pytest.raises(ApiError) as err:
+            service.append_dataset("w", DELTA, expected_version=1)
+        assert err.value.status == 409 and err.value.code == "version_conflict"
+        assert service.dataset_info("w")["version"] == 2  # nothing changed
+
+    def test_replace_invalidates_old_contents(self, service):
+        service.create_dataset("w", BASE)
+        assert service.submit(None, CFG, dataset_id="w").wait(30.0)
+        service.create_dataset("w", DELTA, replace=True)
+        job = service.submit(None, CFG, dataset_id="w")
+        assert job.wait(30.0)
+        assert job.via == "run"
+        assert job.result.itemsets == oracle(DELTA)
+
+    def test_transactions_xor_dataset_id(self, service):
+        service.create_dataset("w", BASE)
+        with pytest.raises(ServeError):
+            service.submit(BASE, CFG, dataset_id="w")
+        with pytest.raises(ServeError):
+            service.submit(None, CFG)
+
+    def test_warm_miner_folds_only_the_delta(self, service):
+        """Incremental serving: the second job after an append must reuse
+        the dataset's warm miner with a delta update, not rebuild."""
+        service.create_dataset("w", BASE)
+        first = service.submit(None, INC, dataset_id="w")
+        assert first.wait(30.0)
+        assert first.result.itemsets == oracle(BASE)
+        entry = service.dataset_registry.get("w")
+        assert len(entry.miners) == 1
+        (miner,) = entry.miners.values()
+        assert miner.n_transactions == len(BASE)
+        service.append_dataset("w", DELTA)  # existing items: no dict shift
+        second = service.submit(None, INC, dataset_id="w")
+        assert second.wait(30.0)
+        assert second.via == "run"
+        assert second.result.itemsets == oracle(BASE + DELTA)
+        assert miner.n_transactions == len(BASE) + len(DELTA)
+        assert miner.last_update.kind == "append"
+        assert not miner.last_update.full_rebuild
+        assert miner.ctx is None  # the lent context was detached
+
+    def test_warm_miner_survives_memoized_hits(self, service):
+        service.create_dataset("w", BASE)
+        assert service.submit(None, INC, dataset_id="w").wait(30.0)
+        assert service.submit(None, INC, dataset_id="w").via == "memoized"
+        assert service.dataset_info("w")["warm_miners"] == 1
+
+    def test_metrics_carry_registry_stats(self, service):
+        service.create_dataset("w", BASE)
+        service.append_dataset("w", DELTA)
+        stats = service.metrics()["dataset_registry"]
+        assert stats["datasets"] == 1
+        assert stats["creates"] == 1 and stats["appends"] == 1
+
+
+class TestRouterDatasets:
+    def test_home_is_name_stable_across_appends(self):
+        with ShardRouter(n_shards=3, n_workers=1) as router:
+            router.create_dataset("w", BASE)
+            home = router.dataset_home("w")
+            router.append_dataset("w", DELTA)
+            assert router.dataset_home("w") == home  # fingerprint moved, home didn't
+            # the dataset lives only on its home shard
+            owners = [
+                s.name for s in router.shards
+                if len(s.service.dataset_registry)
+            ]
+            assert owners == [home]
+
+    def test_dataset_jobs_pin_to_the_home_shard(self):
+        with ShardRouter(n_shards=3, n_workers=1) as router:
+            router.create_dataset("w", BASE)
+            job = router.submit(None, CFG, dataset_id="w")
+            assert job.wait(30.0)
+            assert job.shard == router.dataset_home("w")
+            assert job.result.itemsets == oracle(BASE)
+            router.append_dataset("w", DELTA)
+            job2 = router.submit(None, CFG, dataset_id="w")
+            assert job2.wait(30.0)
+            assert job2.shard == router.dataset_home("w")
+            assert job2.result.itemsets == oracle(BASE + DELTA)
+
+    def test_unknown_dataset_through_router(self):
+        with ShardRouter(n_shards=2, n_workers=1) as router:
+            with pytest.raises(ApiError) as err:
+                router.dataset_info("nope")
+            assert err.value.code == "unknown_dataset"
+
+
+class TestHttpDatasets:
+    @pytest.fixture(scope="class")
+    def server(self):
+        with MiningServer(port=0, n_workers=2) as srv:
+            yield srv
+
+    def test_full_lifecycle_over_http(self, server):
+        client = HttpClient(server.url)
+        info = client.create_dataset("http-w", BASE)
+        assert info["version"] == 1
+        assert info["fingerprint"] == dataset_fingerprint(BASE)
+        first = client.wait(
+            client.submit(None, CFG, dataset="http-w")["job_id"], timeout=60
+        )
+        assert first["state"] == "done"
+        assert first["dataset_id"] == "http-w" and first["dataset_version"] == 1
+        assert client.result(first["job_id"]) == oracle(BASE)
+
+        info = client.append_dataset("http-w", DELTA, expected_version=1)
+        assert info["version"] == 2 and info["invalidated_results"] >= 1
+        assert client.dataset_info("http-w")["n_transactions"] == len(BASE) + len(
+            DELTA
+        )
+        post = client.wait(
+            client.submit(None, CFG, dataset="http-w")["job_id"], timeout=60
+        )
+        assert post["via"] == "run"  # the stale cache entry is gone
+        assert client.result(post["job_id"]) == oracle(BASE + DELTA)
+
+    def test_http_error_codes_are_structured(self, server):
+        """Satellite: HttpClient surfaces the JSON error body as an
+        ApiError with the server's status and code, not a bare HTTPError."""
+        client = HttpClient(server.url)
+        with pytest.raises(ApiError) as err:
+            client.dataset_info("never-created")
+        assert err.value.status == 404 and err.value.code == "unknown_dataset"
+
+        client.create_dataset("http-dup", BASE)
+        with pytest.raises(ApiError) as err:
+            client.create_dataset("http-dup", BASE)
+        assert err.value.status == 409 and err.value.code == "dataset_exists"
+        with pytest.raises(ApiError) as err:
+            client.append_dataset("http-dup", DELTA, expected_version=7)
+        assert err.value.status == 409 and err.value.code == "version_conflict"
+        with pytest.raises(ApiError) as err:
+            client.submit(BASE, {"min_support": 0.5, "bogus_knob": 1})
+        assert err.value.status == 400 and err.value.code == "bad_request"
+
+    def test_submit_requires_exactly_one_source(self, server):
+        client = HttpClient(server.url)
+        # neither transactions nor dataset (raw body: the typed client
+        # already refuses to build this request)
+        with pytest.raises(ApiError) as err:
+            client._request("POST", "/jobs", {"config": {"min_support": 0.5}})
+        assert err.value.status == 400 and err.value.code == "bad_request"
+        client.create_dataset("http-both", BASE)
+        with pytest.raises(ApiError) as err:
+            client._request(
+                "POST",
+                "/jobs",
+                {
+                    "config": {"min_support": 0.5},
+                    "transactions": [list(t) for t in BASE],
+                    "dataset": "http-both",
+                },
+            )
+        assert err.value.status == 400 and err.value.code == "bad_request"

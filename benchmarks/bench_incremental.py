@@ -112,7 +112,107 @@ def _slide_leg(base: list, delta: list) -> dict:
     }
 
 
-def run_incremental_bench(smoke: bool = False) -> dict:
+#: streaming leg: how many tiny appends the ingest buffer coalesces
+K_APPENDS = 20
+#: per-append delta size as a fraction of the base window
+STREAM_FRAC = 0.001
+
+
+def _streaming_leg(base: list, pool: list, smoke: bool) -> dict:
+    """The ingest-buffer claim: folding K tiny appends into ONE delta
+    update beats K individual update passes at the same final window.
+
+    Each individual pass pays the per-update fixed cost (level walk,
+    candidate regeneration, border bookkeeping) for a handful of rows;
+    the coalesced pass pays it once for K times the rows.  Both paths
+    must land on identical itemsets — coalescing is a latency/ingest
+    trade, never a correctness one.
+    """
+    per = max(1, int(len(base) * STREAM_FRAC))
+    deltas = [pool[i * per : (i + 1) * per] for i in range(K_APPENDS)]
+    deltas = [d for d in deltas if d]
+    flat = [txn for delta in deltas for txn in delta]
+
+    _, individual = _cold_build(base)
+    t0 = time.perf_counter()
+    for delta in deltas:
+        individual.append(delta)
+    individual_wall = time.perf_counter() - t0
+
+    _, coalesced = _cold_build(base)
+    t0 = time.perf_counter()
+    coalesced.append(flat)
+    coalesced_wall = time.perf_counter() - t0
+
+    assert individual.itemsets() == coalesced.itemsets(), (
+        f"coalesced append of {len(flat)} rows diverged from "
+        f"{len(deltas)} individual passes over the same rows"
+    )
+    speedup = round(individual_wall / max(coalesced_wall, 1e-9), 2)
+    assert speedup > 1.0, (
+        f"coalescing {len(deltas)} appends did not beat individual "
+        f"passes ({speedup}x)"
+    )
+    if not smoke:
+        assert speedup >= 5.0, (
+            f"coalesced ingest {speedup}x < 5x over {len(deltas)} "
+            f"individual update passes"
+        )
+    return {
+        "k_appends": len(deltas),
+        "rows_per_append": per,
+        "individual_wall_s": round(individual_wall, 4),
+        "coalesced_wall_s": round(coalesced_wall, 4),
+        "coalesce_speedup": speedup,
+        "n_itemsets": len(coalesced.itemsets()),
+    }
+
+
+def _policy_leg(base: list, pool: list) -> dict:
+    """Window-policy invariant through the serving layer: a stream of
+    appends under ``max_window`` never grows past the bound, and the
+    final warm result equals a cold mine of the policy-trimmed tail."""
+    from repro.core.registry import MiningConfig
+    from repro.serve import MiningService
+
+    max_window = len(base)
+    per = max(1, int(len(base) * STREAM_FRAC) * 4)
+    cfg = MiningConfig(
+        min_support=SUPPORT, backend="serial", incremental=True,
+        candidate_store=STORE,
+    )
+    with MiningService(n_workers=1, result_ttl_s=60.0) as svc:
+        svc.create_dataset("stream", base, max_window=max_window)
+        peak = len(base)
+        for i in range(8):
+            delta = pool[i * per : (i + 1) * per]
+            if not delta:
+                break
+            info = svc.append_dataset("stream", delta)
+            assert info["n_transactions"] <= max_window, (
+                f"window {info['n_transactions']} exceeded "
+                f"max_window={max_window}"
+            )
+            peak = max(peak, info["n_transactions"])
+        job = svc.submit(None, cfg, dataset_id="stream")
+        assert job.wait(600.0)
+        entry = svc.dataset_registry.get("stream")
+        window = list(entry.transactions)
+        retired = entry.retires
+    _, cold = _cold_build(window)
+    assert job.result.itemsets == cold.itemsets(), (
+        "post-retire warm result diverged from a cold mine of the "
+        "trimmed window"
+    )
+    return {
+        "max_window": max_window,
+        "peak_window": peak,
+        "retired_transactions": retired,
+        "n_itemsets": len(cold.itemsets()),
+    }
+
+
+def run_incremental_bench(smoke: bool = False, streaming: bool = False) -> dict:
     scale = 0.1 if smoke else 0.8
     base = mushroom_like(scale=scale, seed=SEED).transactions
     # deltas drawn i.i.d. from the same generator: genuinely new rows of
@@ -134,6 +234,9 @@ def run_incremental_bench(smoke: bool = False) -> dict:
         report["appends"].append(_leg(base, pool[:n_delta]))
     slide_rows = max(1, int(len(base) * APPEND_FRACS[-1]))
     report["slide"] = _slide_leg(base, pool[:slide_rows])
+    if streaming:
+        report["streaming"] = _streaming_leg(base, pool, smoke)
+        report["streaming"]["policy"] = _policy_leg(base, pool)
 
     best = max(leg["speedup_vs_remine"] for leg in report["appends"])
     report["best_append_speedup"] = best
@@ -168,8 +271,14 @@ def main(argv=None) -> int:
         action="store_true",
         help="small window; assert correctness invariants and exit",
     )
+    parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="also run the streaming-ingest leg: coalesced vs individual "
+        "appends, plus the max_window policy invariant",
+    )
     args = parser.parse_args(argv)
-    report = run_incremental_bench(smoke=args.smoke)
+    report = run_incremental_bench(smoke=args.smoke, streaming=args.streaming)
     print(
         f"mushroom @ sup={report['min_support']} "
         f"({report['n_transactions']} txns, store={report['candidate_store']}):"
@@ -190,6 +299,19 @@ def main(argv=None) -> int:
         f"  slide +/-{slide['n_delta']} rows: {slide['slide_wall_s']}s vs "
         f"re-mine {slide['full_remine_wall_s']}s = {slide['speedup_vs_remine']}x"
     )
+    if "streaming" in report:
+        stream = report["streaming"]
+        print(
+            f"  coalesce {stream['k_appends']}x{stream['rows_per_append']} rows: "
+            f"{stream['coalesced_wall_s']}s vs {stream['individual_wall_s']}s "
+            f"individual = {stream['coalesce_speedup']}x"
+        )
+        policy = stream["policy"]
+        print(
+            f"  policy max_window={policy['max_window']}: peak "
+            f"{policy['peak_window']}, retired "
+            f"{policy['retired_transactions']} (warm == cold re-mine)"
+        )
     print(f"best append speedup: {report['best_append_speedup']}x")
     print(f"wrote {REPORT_PATH}")
     return 0

@@ -321,18 +321,37 @@ def cmd_submit(args) -> int:
             if err.code != "unknown_dataset":
                 raise
             _, txns = _load_transactions(args)
-            info = client.create_dataset(args.dataset_id, txns)
+            info = client.create_dataset(
+                args.dataset_id,
+                txns,
+                max_window=args.max_window,
+                max_age_s=args.max_age,
+                flush_rows=args.flush_rows,
+                flush_age_s=args.flush_age,
+            )
+            policy = ", ".join(
+                f"{k}={v}" for k, v in info.get("policy", {}).items() if v is not None
+            )
             print(
                 f"registered dataset {args.dataset_id!r} "
-                f"(v{info['version']}, {info['n_transactions']} txns)"
+                f"(v{info['version']}, {info['n_transactions']} txns"
+                + (f", {policy}" if policy else "") + ")"
             )
         if args.append:
-            info = client.append_dataset(args.dataset_id, _read_delta(args.append))
-            print(
-                f"appended -> v{info['version']} "
-                f"({info['n_transactions']} txns, "
-                f"{info['invalidated_results']} stale cached result(s) dropped)"
+            info = client.append_dataset(
+                args.dataset_id, _read_delta(args.append), flush=args.flush
             )
+            if info.get("flushed", True):
+                print(
+                    f"appended -> v{info['version']} "
+                    f"({info['n_transactions']} txns, "
+                    f"{info['invalidated_results']} stale cached result(s) dropped)"
+                )
+            else:
+                print(
+                    f"buffered ({info['buffered']} staged row(s), "
+                    f"window still v{info['version']})"
+                )
         snapshot = client.submit(None, config, dataset=args.dataset_id, **submit_kwargs)
     else:
         _, txns = _load_transactions(args)
@@ -369,6 +388,56 @@ def cmd_submit(args) -> int:
         print(f"  {' '.join(map(str, itemset)):40s} {count}")
     if len(shown) > args.top:
         print(f"  ... and {len(shown) - args.top} more")
+    return 0
+
+
+def cmd_watch(args) -> int:
+    """``watch``: follow a dataset's frequent-itemset family over the
+    ``/changes`` long-poll, printing one line per version transition."""
+    from repro.serve.client import HttpClient
+
+    client = HttpClient(args.url)
+    info = client.dataset_info(args.dataset_id)
+    since = args.since if args.since is not None else info["version"]
+    print(
+        f"watching {args.dataset_id!r} from v{since} "
+        f"(support={args.support:g}, store={args.candidate_store}, "
+        f"poll={args.poll_timeout:g}s)"
+    )
+    polls = 0
+    while args.max_polls is None or polls < args.max_polls:
+        polls += 1
+        payload = client.dataset_changes(
+            args.dataset_id,
+            since=since,
+            min_support=args.support,
+            max_length=args.max_length,
+            candidate_store=args.candidate_store,
+            timeout_s=args.poll_timeout,
+        )
+        version = payload["version"]
+        if payload.get("reset"):
+            family = payload["family"]
+            print(f"v{version}: reset — full family, {len(family)} itemsets")
+            for itemset, count in family[: args.top]:
+                print(f"  = {' '.join(map(str, itemset)):40s} {count}")
+        elif version == since:
+            print(f"v{version}: no change after {args.poll_timeout:g}s")
+        else:
+            added, removed, changed = (
+                payload["added"], payload["removed"], payload["changed"]
+            )
+            print(
+                f"v{since} -> v{version}: +{len(added)} -{len(removed)} "
+                f"~{len(changed)} itemsets ({payload['n_transactions']} txns)"
+            )
+            for itemset, count in added[: args.top]:
+                print(f"  + {' '.join(map(str, itemset)):40s} {count}")
+            for itemset, count in removed[: args.top]:
+                print(f"  - {' '.join(map(str, itemset)):40s} {count}")
+            for itemset, old, new in changed[: args.top]:
+                print(f"  ~ {' '.join(map(str, itemset)):40s} {old} -> {new}")
+        since = version
     return 0
 
 
@@ -538,6 +607,31 @@ def build_parser() -> argparse.ArgumentParser:
         "dataset (new version, stale cached results dropped) before "
         "submitting",
     )
+    submit.add_argument(
+        "--max-window", type=int, default=None, metavar="N",
+        help="with --dataset-id (on first registration): retire the "
+        "oldest transactions whenever the window exceeds N",
+    )
+    submit.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="with --dataset-id (on first registration): retire "
+        "transactions older than this many seconds",
+    )
+    submit.add_argument(
+        "--flush-rows", type=int, default=None, metavar="N",
+        help="with --dataset-id (on first registration): buffer appends "
+        "and fold them into one update every N staged rows",
+    )
+    submit.add_argument(
+        "--flush-age", type=float, default=None, metavar="SECONDS",
+        help="with --dataset-id (on first registration): flush the "
+        "ingest buffer when its oldest staged row is this old",
+    )
+    submit.add_argument(
+        "--flush", action="store_true",
+        help="with --append: force the ingest buffer through now instead "
+        "of waiting for a flush trigger",
+    )
     submit.add_argument("--priority", type=int, default=0, help="lower runs first")
     submit.add_argument(
         "--tenant", default="default",
@@ -558,6 +652,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to poll before giving up",
     )
     submit.set_defaults(func=cmd_submit)
+
+    watch = sub.add_parser(
+        "watch", help="follow a dataset's itemset-family change feed"
+    )
+    watch.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="server base URL",
+    )
+    watch.add_argument(
+        "--dataset-id", required=True, metavar="NAME",
+        help="named server-side dataset to watch",
+    )
+    watch.add_argument("--support", type=float, required=True)
+    watch.add_argument("--max-length", type=int, default=None)
+    watch.add_argument(
+        "--candidate-store", default="bitmap", choices=store_names(),
+        help="candidate store of the watched mining key",
+    )
+    watch.add_argument(
+        "--since", type=int, default=None, metavar="VERSION",
+        help="start from this version (default: the current one)",
+    )
+    watch.add_argument(
+        "--poll-timeout", type=float, default=20.0,
+        help="seconds each long-poll waits for the next version",
+    )
+    watch.add_argument(
+        "--max-polls", type=int, default=None,
+        help="stop after this many polls (default: forever)",
+    )
+    watch.add_argument("--top", type=int, default=15, help="itemsets to print per diff")
+    watch.set_defaults(func=cmd_watch)
     return parser
 
 

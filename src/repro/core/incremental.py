@@ -80,6 +80,82 @@ class _WindowCounter:
 
 
 @dataclass
+class FamilyDiff:
+    """What changed between two frequent-itemset families.
+
+    The streaming subscription surface ships *these* instead of full
+    results: ``added`` holds itemsets newly frequent (with their new
+    counts), ``removed`` the ones that fell out (with their last counts),
+    and ``changed`` the survivors whose exact count moved
+    (``itemset -> (old_count, new_count)``).  Diffs over consecutive
+    version transitions compose associatively, so a change log can answer
+    "what happened since version V" by folding the per-transition diffs.
+    """
+
+    added: dict = field(default_factory=dict)
+    removed: dict = field(default_factory=dict)
+    changed: dict = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+    @classmethod
+    def between(cls, old: dict, new: dict) -> "FamilyDiff":
+        """The diff taking family ``old`` to family ``new``."""
+        return cls(
+            added={i: c for i, c in new.items() if i not in old},
+            removed={i: c for i, c in old.items() if i not in new},
+            changed={
+                i: (old[i], c) for i, c in new.items()
+                if i in old and old[i] != c
+            },
+        )
+
+    @classmethod
+    def compose(cls, diffs) -> "FamilyDiff":
+        """Fold consecutive transition diffs into one (A→B→C ⇒ A→C)."""
+        out = cls()
+        for d in diffs:
+            for itemset, count in d.added.items():
+                if itemset in out.removed:
+                    old = out.removed.pop(itemset)
+                    if old != count:
+                        out.changed[itemset] = (old, count)
+                else:
+                    out.added[itemset] = count
+            for itemset, (old, new) in d.changed.items():
+                if itemset in out.added:
+                    out.added[itemset] = new
+                elif itemset in out.changed:
+                    first = out.changed[itemset][0]
+                    if first == new:
+                        del out.changed[itemset]
+                    else:
+                        out.changed[itemset] = (first, new)
+                else:
+                    out.changed[itemset] = (old, new)
+            for itemset, old in d.removed.items():
+                if itemset in out.added:
+                    del out.added[itemset]
+                elif itemset in out.changed:
+                    out.removed[itemset] = out.changed.pop(itemset)[0]
+                else:
+                    out.removed[itemset] = old
+        return out
+
+    def apply(self, family: dict) -> dict:
+        """The family this diff produces when applied to ``family``."""
+        out = dict(family)
+        for itemset in self.removed:
+            out.pop(itemset, None)
+        out.update(self.added)
+        for itemset, (_, new) in self.changed.items():
+            out[itemset] = new
+        return out
+
+
+@dataclass
 class IncrementalUpdate:
     """What one ``append``/``retire`` (or the initial build) actually did."""
 
@@ -100,6 +176,10 @@ class IncrementalUpdate:
     #: per-level trail: {"k", "mode" ("delta"|"remine"), "delta_candidates",
     #: "full_candidates"} — folded into IterationStats by ``result()``
     per_level: list = field(default_factory=list)
+    #: how the frequent family changed across this update (appends and
+    #: retires only; ``None`` on the initial build or when diff tracking
+    #: is disabled) — the payload the streaming change feed ships
+    family_diff: FamilyDiff | None = None
 
 
 @dataclass
@@ -152,6 +232,7 @@ class IncrementalMiner:
         num_partitions: int | None = None,
         ctx=None,
         tracer=None,
+        track_family_diff: bool = True,
     ):
         if not 0.0 < min_support <= 1.0:
             raise MiningError(f"min_support must be in (0, 1], got {min_support}")
@@ -161,6 +242,7 @@ class IncrementalMiner:
         self.store_options = dict(store_options or {})
         self.num_partitions = num_partitions
         self.ctx = ctx
+        self.track_family_diff = track_family_diff
         self._tracer = tracer
         self._window: list = [canonical_transaction(t) for t in transactions]
         if not self._window:
@@ -216,6 +298,7 @@ class IncrementalMiner:
             update.threshold = self._threshold
             return update
         t0 = time.perf_counter()
+        before = self.itemsets() if self.track_family_diff else None
         with self._trace().span(
             "incremental_update", "driver", kind="append", n_delta=len(delta)
         ):
@@ -224,6 +307,8 @@ class IncrementalMiner:
                 for item in txn:
                     self._item_counts[item] = self._item_counts.get(item, 0) + 1
             self._apply_delta(delta, +1, update)
+        if before is not None:
+            update.family_diff = FamilyDiff.between(before, self.itemsets())
         return self._seal(update, t0)
 
     def retire(self, n_oldest: int) -> IncrementalUpdate:
@@ -244,6 +329,7 @@ class IncrementalMiner:
                 f"retire({n_oldest}) would empty the {len(self._window)}-transaction window"
             )
         t0 = time.perf_counter()
+        before = self.itemsets() if self.track_family_diff else None
         with self._trace().span(
             "incremental_update", "driver", kind="retire", n_delta=n_oldest
         ):
@@ -257,6 +343,8 @@ class IncrementalMiner:
                     else:
                         del self._item_counts[item]
             self._apply_delta(retired, -1, update)
+        if before is not None:
+            update.family_diff = FamilyDiff.between(before, self.itemsets())
         return self._seal(update, t0)
 
     def itemsets(self) -> dict:
@@ -515,4 +603,4 @@ def run_incremental(ctx, transactions, config) -> MiningRunResult:
     return miner.result()
 
 
-__all__ = ["IncrementalMiner", "IncrementalUpdate", "run_incremental"]
+__all__ = ["FamilyDiff", "IncrementalMiner", "IncrementalUpdate", "run_incremental"]

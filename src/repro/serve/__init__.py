@@ -18,7 +18,7 @@ from repro.serve.cache import (
     dataset_fingerprint,
 )
 from repro.serve.client import HttpClient, LocalClient
-from repro.serve.datasets import DatasetRegistry, ManagedDataset
+from repro.serve.datasets import AppendResult, DatasetRegistry, ManagedDataset
 from repro.serve.http import MiningServer, config_from_dict
 from repro.serve.jobs import (
     ApiError,
@@ -36,6 +36,7 @@ from repro.serve.shard import HashRing, Shard
 
 __all__ = [
     "ApiError",
+    "AppendResult",
     "ContextPool",
     "CostPlanner",
     "DatasetCache",

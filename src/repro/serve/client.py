@@ -15,6 +15,7 @@ import json
 import time
 import urllib.error
 import urllib.request
+from urllib.parse import urlencode
 
 from repro.core.registry import MiningConfig
 from repro.serve.jobs import (
@@ -56,18 +57,63 @@ class LocalClient:
     def submit(self, transactions, config: MiningConfig, **submit_kwargs):
         return self.service.submit(transactions, config, **submit_kwargs)
 
-    def create_dataset(self, dataset_id: str, transactions, *, replace=False) -> dict:
-        return self.service.create_dataset(dataset_id, transactions, replace=replace)
+    def create_dataset(
+        self,
+        dataset_id: str,
+        transactions,
+        *,
+        replace=False,
+        max_window: int | None = None,
+        max_age_s: float | None = None,
+        flush_rows: int | None = None,
+        flush_age_s: float | None = None,
+    ) -> dict:
+        return self.service.create_dataset(
+            dataset_id,
+            transactions,
+            replace=replace,
+            max_window=max_window,
+            max_age_s=max_age_s,
+            flush_rows=flush_rows,
+            flush_age_s=flush_age_s,
+        )
 
     def append_dataset(
-        self, dataset_id: str, transactions, *, expected_version: int | None = None
+        self,
+        dataset_id: str,
+        transactions,
+        *,
+        expected_version: int | None = None,
+        flush: bool = False,
     ) -> dict:
         return self.service.append_dataset(
-            dataset_id, transactions, expected_version=expected_version
+            dataset_id,
+            transactions,
+            expected_version=expected_version,
+            flush=flush,
         )
 
     def dataset_info(self, dataset_id: str) -> dict:
         return self.service.dataset_info(dataset_id)
+
+    def dataset_changes(
+        self,
+        dataset_id: str,
+        *,
+        since: int,
+        min_support: float,
+        max_length: int | None = None,
+        candidate_store: str | None = None,
+        timeout_s: float = 0.0,
+    ) -> dict:
+        return self.service.dataset_changes(
+            dataset_id,
+            since=since,
+            min_support=min_support,
+            max_length=max_length,
+            candidate_store=candidate_store,
+            timeout_s=timeout_s,
+        )
 
     def status(self, job_id: str) -> dict:
         return self.service.get(job_id).snapshot()
@@ -231,31 +277,95 @@ class HttpClient:
         return self._request("POST", "/jobs", payload)
 
     def create_dataset(
-        self, dataset_id: str, transactions, *, replace: bool = False
+        self,
+        dataset_id: str,
+        transactions,
+        *,
+        replace: bool = False,
+        max_window: int | None = None,
+        max_age_s: float | None = None,
+        flush_rows: int | None = None,
+        flush_age_s: float | None = None,
     ) -> dict:
-        """``POST /datasets/<id>``: register a named, versioned dataset."""
+        """``POST /datasets/<id>``: register a named, versioned dataset.
+
+        ``max_window`` / ``max_age_s`` bound the window (oldest
+        transactions retire automatically); ``flush_rows`` /
+        ``flush_age_s`` enable the ingest buffer (small appends coalesce
+        into one delta update per flush).
+        """
         payload = {"transactions": [list(t) for t in transactions]}
         if replace:
             payload["replace"] = True
+        for key, value in (
+            ("max_window", max_window),
+            ("max_age_s", max_age_s),
+            ("flush_rows", flush_rows),
+            ("flush_age_s", flush_age_s),
+        ):
+            if value is not None:
+                payload[key] = value
         return self._request("POST", f"/datasets/{dataset_id}", payload)
 
     def append_dataset(
-        self, dataset_id: str, transactions, *, expected_version: int | None = None
+        self,
+        dataset_id: str,
+        transactions,
+        *,
+        expected_version: int | None = None,
+        flush: bool = False,
     ) -> dict:
         """``POST /datasets/<id>/append``: new version, stale caches dropped.
 
-        Raises :class:`~repro.serve.jobs.ApiError` with
+        On a buffering dataset the delta may only be *staged* (the
+        response says ``flushed=false``); ``flush=True`` forces the
+        buffer through — with an empty/omitted delta it is a pure
+        "flush now".  Raises :class:`~repro.serve.jobs.ApiError` with
         ``code="version_conflict"`` when ``expected_version`` no longer
-        matches, or ``code="unknown_dataset"`` for an unregistered name.
+        matches, ``code="unknown_dataset"`` for an unregistered name, or
+        ``code="dataset_retired"`` after a same-name replace.
         """
-        payload = {"transactions": [list(t) for t in transactions]}
+        payload: dict = {}
+        if transactions is not None:
+            payload["transactions"] = [list(t) for t in transactions]
         if expected_version is not None:
             payload["expected_version"] = expected_version
+        if flush:
+            payload["flush"] = True
         return self._request("POST", f"/datasets/{dataset_id}/append", payload)
 
     def dataset_info(self, dataset_id: str) -> dict:
         """``GET /datasets/<id>``: version, size, fingerprint, warm miners."""
         return self._request("GET", f"/datasets/{dataset_id}")
+
+    def dataset_changes(
+        self,
+        dataset_id: str,
+        *,
+        since: int,
+        min_support: float,
+        max_length: int | None = None,
+        candidate_store: str | None = None,
+        timeout_s: float = 0.0,
+    ) -> dict:
+        """``GET /datasets/<id>/changes``: the family diff since ``since``.
+
+        Long-polls server-side up to ``timeout_s`` (capped at ~25s, below
+        the client's socket timeout) when ``since`` is already current.
+        The payload carries ``added`` / ``removed`` / ``changed`` itemset
+        lists, or ``reset=true`` with the full ``family`` when the change
+        log no longer covers ``since``.
+        """
+        params = {"since": int(since), "min_support": min_support}
+        if max_length is not None:
+            params["max_length"] = max_length
+        if candidate_store is not None:
+            params["candidate_store"] = candidate_store
+        if timeout_s:
+            params["timeout_s"] = timeout_s
+        return self._request(
+            "GET", f"/datasets/{dataset_id}/changes?{urlencode(params)}"
+        )
 
     def status(self, job_id: str) -> dict:
         return self._request("GET", f"/jobs/{job_id}")

@@ -15,14 +15,27 @@ JSON over ``http.server`` — no third-party dependencies:
 ``GET /results/<id>``       mined itemsets once DONE (409 with the state
                             while the job is still in flight)
 ``POST /datasets/<id>``     register a named, versioned dataset
-                            ``{"transactions": [...], "replace": bool}``
+                            ``{"transactions": [...], "replace": bool,
+                            "max_window"/"max_age_s" (window policies),
+                            "flush_rows"/"flush_age_s" (ingest buffer)}``
                             (409 ``dataset_exists`` on duplicate names)
 ``POST /datasets/<id>/append``  append ``{"transactions": [...],
-                            "expected_version": int?}``: new version + new
-                            fingerprint, stale cached results invalidated
-                            (409 ``version_conflict``, 404
-                            ``unknown_dataset``)
-``GET /datasets/<id>``      version, size, fingerprint, warm-miner count
+                            "expected_version": int?, "flush": bool}``: on
+                            a buffering dataset the delta is staged until
+                            a flush trigger fires; otherwise new version +
+                            new fingerprint, stale cached results
+                            invalidated (409 ``version_conflict`` /
+                            ``dataset_retired``, 404 ``unknown_dataset``)
+``GET /datasets/<id>``      version, size, fingerprint, warm-miner count,
+                            buffered rows, policies
+``GET /datasets/<id>/changes``  the change feed: ``?since=<version>&
+                            min_support=<s>[&max_length=][&candidate_store=]
+                            [&timeout_s=]`` → the family diff
+                            (added/removed/count-changed frequent itemsets)
+                            from ``since`` to the current version;
+                            long-polls up to ``timeout_s`` when already
+                            current; ``reset=true`` + full family when the
+                            change log no longer covers ``since``
 ``GET /healthz``            liveness + worker count
 ``GET /metrics``            queue depth, per-state job counts, cache hit
                             rates, per-job engine-metrics summaries
@@ -48,6 +61,7 @@ import threading
 from dataclasses import fields as dataclass_fields
 from dataclasses import replace as dc_replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.common.errors import MiningError
 from repro.core.registry import MiningConfig
@@ -66,8 +80,14 @@ _SUBMIT_FIELDS = {
 }
 
 #: body keys for POST /datasets/<id> and POST /datasets/<id>/append
-_CREATE_FIELDS = {"transactions", "replace"}
-_APPEND_FIELDS = {"transactions", "expected_version"}
+_CREATE_FIELDS = {
+    "transactions", "replace",
+    "max_window", "max_age_s", "flush_rows", "flush_age_s",
+}
+_APPEND_FIELDS = {"transactions", "expected_version", "flush"}
+
+#: query keys for GET /datasets/<id>/changes
+_CHANGES_PARAMS = {"since", "min_support", "max_length", "candidate_store", "timeout_s"}
 
 
 def config_from_dict(payload: dict) -> MiningConfig:
@@ -182,7 +202,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes ------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        path = self.path.rstrip("/")
+        url = urlsplit(self.path)
+        path = url.path.rstrip("/")
         if path == "/healthz":
             self._send_json(200, self.service.healthz())
         elif path == "/metrics":
@@ -207,19 +228,49 @@ class _Handler(BaseHTTPRequestHandler):
                     },
                 )
         elif path.startswith("/datasets/"):
-            dataset_id = path.removeprefix("/datasets/")
-            if not dataset_id or "/" in dataset_id:
-                self._no_route("GET")
-                return
+            rest = path.removeprefix("/datasets/")
             try:
-                self._send_json(200, self.service.dataset_info(dataset_id))
+                if rest.endswith("/changes") and rest.removesuffix("/changes"):
+                    dataset_id = rest.removesuffix("/changes")
+                    if "/" in dataset_id:
+                        self._no_route("GET")
+                        return
+                    self._get_changes(dataset_id, url.query)
+                elif rest and "/" not in rest:
+                    self._send_json(200, self.service.dataset_info(rest))
+                else:
+                    self._no_route("GET")
             except ApiError as err:
                 self._send_json(err.status, err.payload())
+            except (ServeError, MiningError, TypeError, ValueError) as err:
+                self._send_json(400, {"error": str(err), "code": "bad_request"})
         else:
             self._no_route("GET")
 
+    def _get_changes(self, dataset_id: str, query: str) -> None:
+        params = {k: v[-1] for k, v in parse_qs(query).items()}
+        unknown = set(params) - _CHANGES_PARAMS
+        if unknown:
+            raise ServeError(
+                f"unknown query param(s) {sorted(unknown)}; "
+                f"valid: {sorted(_CHANGES_PARAMS)}"
+            )
+        for required in ("since", "min_support"):
+            if required not in params:
+                raise ServeError(f"query param {required!r} is required")
+        max_length = params.get("max_length")
+        payload = self.service.dataset_changes(
+            dataset_id,
+            since=int(params["since"]),
+            min_support=float(params["min_support"]),
+            max_length=int(max_length) if max_length is not None else None,
+            candidate_store=params.get("candidate_store"),
+            timeout_s=float(params.get("timeout_s", 0.0)),
+        )
+        self._send_json(200, payload)
+
     def do_POST(self) -> None:  # noqa: N802
-        path = self.path.rstrip("/")
+        path = urlsplit(self.path).path.rstrip("/")
         try:
             if path == "/jobs":
                 self._post_job()
@@ -307,6 +358,10 @@ class _Handler(BaseHTTPRequestHandler):
             dataset_id,
             self._txns_from(payload),
             replace=bool(payload.get("replace", False)),
+            max_window=payload.get("max_window"),
+            max_age_s=payload.get("max_age_s"),
+            flush_rows=payload.get("flush_rows"),
+            flush_age_s=payload.get("flush_age_s"),
         )
         self._send_json(201, info)
 
@@ -320,8 +375,15 @@ class _Handler(BaseHTTPRequestHandler):
         expected = payload.get("expected_version")
         if expected is not None:
             expected = int(expected)
+        flush = bool(payload.get("flush", False))
+        # flush=true with no (or an empty) delta is a pure "flush now"
+        transactions = (
+            self._txns_from(payload)
+            if not flush or payload.get("transactions")
+            else None
+        )
         info = self.service.append_dataset(
-            dataset_id, self._txns_from(payload), expected_version=expected
+            dataset_id, transactions, expected_version=expected, flush=flush
         )
         self._send_json(200, info)
 

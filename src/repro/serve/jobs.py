@@ -173,6 +173,10 @@ class Job:
     #: True while the job sits in a tenant queue (service-internal; used to
     #: keep the admission-control depth counter exact under lazy removal)
     _queued: bool = field(default=False, repr=False)
+    #: the ManagedDataset whose version this job pinned at submit time;
+    #: the pin (and this reference) is released in _finish_locked so the
+    #: entry's version map can prune entries no in-flight job needs
+    _dataset_entry: object | None = field(default=None, repr=False)
 
     @property
     def result_key(self) -> tuple[str, str]:

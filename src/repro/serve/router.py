@@ -269,24 +269,64 @@ class ShardRouter:
 
     # -- named datasets ----------------------------------------------------
     def create_dataset(
-        self, dataset_id: str, transactions, *, replace: bool = False
+        self,
+        dataset_id: str,
+        transactions,
+        *,
+        replace: bool = False,
+        max_window: int | None = None,
+        max_age_s: float | None = None,
+        flush_rows: int | None = None,
+        flush_age_s: float | None = None,
     ) -> dict:
         """Register a named dataset on its home shard (see :meth:`dataset_home`)."""
         return self._dataset_shard(dataset_id).service.create_dataset(
-            dataset_id, transactions, replace=replace
+            dataset_id,
+            transactions,
+            replace=replace,
+            max_window=max_window,
+            max_age_s=max_age_s,
+            flush_rows=flush_rows,
+            flush_age_s=flush_age_s,
         )
 
     def append_dataset(
-        self, dataset_id: str, transactions, *, expected_version: int | None = None
+        self,
+        dataset_id: str,
+        transactions,
+        *,
+        expected_version: int | None = None,
+        flush: bool = False,
     ) -> dict:
         """Append to a named dataset on its home shard — the one whose
         registry entry, dataset cache, and warm miners hold its state."""
         return self._dataset_shard(dataset_id).service.append_dataset(
-            dataset_id, transactions, expected_version=expected_version
+            dataset_id, transactions, expected_version=expected_version, flush=flush
         )
 
     def dataset_info(self, dataset_id: str) -> dict:
         return self._dataset_shard(dataset_id).service.dataset_info(dataset_id)
+
+    def dataset_changes(
+        self,
+        dataset_id: str,
+        *,
+        since: int,
+        min_support: float,
+        max_length: int | None = None,
+        candidate_store: str | None = None,
+        timeout_s: float = 0.0,
+    ) -> dict:
+        """The change feed, served by the home shard — the only shard
+        whose change log and warm miner track this dataset."""
+        return self._dataset_shard(dataset_id).service.dataset_changes(
+            dataset_id,
+            since=since,
+            min_support=min_support,
+            max_length=max_length,
+            candidate_store=candidate_store,
+            timeout_s=timeout_s,
+        )
 
     # -- planner feedback --------------------------------------------------
     def _on_job_finished(self, job: Job) -> None:

@@ -14,7 +14,7 @@ import random
 import pytest
 
 from repro.common.errors import MiningError
-from repro.core.incremental import IncrementalMiner, run_incremental
+from repro.core.incremental import FamilyDiff, IncrementalMiner, run_incremental
 from repro.core.registry import MiningConfig, run_algorithm
 from repro.datasets import mushroom_like, quest_generator
 from repro.engine import Context
@@ -253,3 +253,86 @@ class TestResultAndRegistry:
             min_support=0.1, incremental=True, candidate_store="flatdict"
         )
         assert run_incremental(None, window, cfg2).itemsets == oracle(window, 0.1)
+
+
+class TestFamilyDiff:
+    """The change-feed primitive: diffs must be exact, composable, and
+    replayable — applying the fold of any transition chain to the first
+    family must land on the last one."""
+
+    def test_between_partitions_the_change(self):
+        old = {("a",): 8, ("b",): 8, ("a", "b"): 6}
+        new = {("a",): 10, ("c",): 7, ("a", "b"): 6}
+        diff = FamilyDiff.between(old, new)
+        assert diff.added == {("c",): 7}
+        assert diff.removed == {("b",): 8}
+        assert diff.changed == {("a",): (8, 10)}
+        assert diff.apply(old) == new
+
+    def test_identical_families_diff_empty(self):
+        fam = {("a",): 3}
+        assert FamilyDiff.between(fam, fam).is_empty
+
+    def test_compose_cancels_add_then_remove(self):
+        a = {("x",): 5}
+        b = {("x",): 5, ("y",): 4}
+        d1 = FamilyDiff.between(a, b)      # adds y
+        d2 = FamilyDiff.between(b, a)      # removes y
+        folded = FamilyDiff.compose([d1, d2])
+        assert folded.is_empty
+
+    def test_compose_collapses_changed_chains(self):
+        fams = [
+            {("x",): 5},
+            {("x",): 7},
+            {("x",): 9, ("y",): 4},
+            {("y",): 6},
+        ]
+        diffs = [
+            FamilyDiff.between(fams[i], fams[i + 1])
+            for i in range(len(fams) - 1)
+        ]
+        folded = FamilyDiff.compose(diffs)
+        assert folded.apply(fams[0]) == fams[-1]
+        assert folded.added == {("y",): 6}
+        assert folded.removed == {("x",): 5}
+        assert folded.changed == {}
+
+    def test_miner_emits_diffs_on_append_and_retire(self):
+        miner = IncrementalMiner(BORDER_BASE, 0.5)
+        assert miner.last_update.family_diff is None  # builds don't diff
+        before = dict(miner.itemsets())
+        miner.append([("a", "b")] * 4)
+        diff = miner.last_update.family_diff
+        assert diff is not None
+        assert diff.apply(before) == miner.itemsets()
+        mid = dict(miner.itemsets())
+        miner.retire(4)
+        rdiff = miner.last_update.family_diff
+        assert rdiff is not None
+        assert rdiff.apply(mid) == miner.itemsets()
+
+    def test_diff_tracking_can_be_disabled(self):
+        miner = IncrementalMiner(BORDER_BASE, 0.5, track_family_diff=False)
+        miner.append([("a", "c")] * 2)
+        assert miner.last_update.family_diff is None
+
+    def test_randomized_transition_chain_replays(self, sparse_pool):
+        rng = random.Random(11)
+        window = list(sparse_pool[:80])
+        miner = IncrementalMiner(window, 0.1)
+        start = dict(miner.itemsets())
+        diffs = []
+        cursor = 80
+        for _ in range(10):
+            if rng.random() < 0.6 and cursor < len(sparse_pool):
+                step = rng.randint(1, 12)
+                miner.append(sparse_pool[cursor:cursor + step])
+                cursor += step
+            elif miner.n_transactions > 20:
+                miner.retire(rng.randint(1, 8))
+            else:
+                continue
+            diffs.append(miner.last_update.family_diff)
+        assert all(d is not None for d in diffs)
+        assert FamilyDiff.compose(diffs).apply(start) == miner.itemsets()

@@ -133,12 +133,13 @@ class TestDatasetRegistry:
             reg.create("w", BASE)
         assert err.value.status == 409 and err.value.code == "dataset_exists"
 
-    def test_replace_reports_old_fingerprint(self):
+    def test_replace_returns_the_old_entry(self):
         reg = DatasetRegistry()
         entry, _ = reg.create("w", BASE)
         old_fp = entry.fingerprint
         entry2, replaced = reg.create("w", DELTA, replace=True)
-        assert replaced == old_fp
+        assert replaced is entry
+        assert replaced.fingerprint == old_fp
         assert entry2.fingerprint == dataset_fingerprint(DELTA)
 
     def test_unknown_dataset(self):
@@ -149,25 +150,40 @@ class TestDatasetRegistry:
             "error": str(err.value), "code": "unknown_dataset",
         }
 
-    def test_append_extends_version_history(self):
+    def test_append_advances_version(self):
         reg = DatasetRegistry()
         entry, _ = reg.create("w", BASE)
         with entry.lock:
-            old_fp, new_fp = entry.append(DELTA)
+            res = entry.append(DELTA)
         assert entry.version == 2
-        assert old_fp == dataset_fingerprint(BASE)
-        assert new_fp == dataset_fingerprint(BASE + DELTA)
-        assert entry.versions == {1: old_fp, 2: new_fp}
+        assert res.old_version == 1 and res.new_version == 2
+        assert res.old_fingerprint == dataset_fingerprint(BASE)
+        assert res.new_fingerprint == dataset_fingerprint(BASE + DELTA)
+        # unpinned old versions are pruned; only the live one remains
+        assert entry.versions == {2: res.new_fingerprint}
         assert entry.info()["n_transactions"] == len(BASE) + len(DELTA)
 
-    def test_empty_create_and_append_rejected(self):
+    def test_pinned_versions_survive_pruning(self):
+        reg = DatasetRegistry()
+        entry, _ = reg.create("w", BASE)
+        v1_fp = entry.fingerprint
+        entry.pin_version(1)
+        with entry.lock:
+            entry.append(DELTA)
+        assert 1 in entry.versions and entry.versions[1] == v1_fp
+        entry.release_version(1)
+        with entry.lock:
+            entry.append([("x", "y")])
+        assert 1 not in entry.versions
+
+    def test_empty_create_rejected_and_empty_append_is_noop(self):
         reg = DatasetRegistry()
         with pytest.raises(ApiError):
             reg.create("w", [])
         entry, _ = reg.create("w2", BASE)
-        with pytest.raises(ApiError):
-            with entry.lock:
-                entry.append([])
+        with entry.lock:
+            assert entry.append([]) is None  # no retire due: nothing to do
+        assert entry.version == 1
 
 
 @pytest.fixture

@@ -1,0 +1,520 @@
+"""Streaming ingestion: coalesced appends, window policies, the change
+feed, and the dataset-lifecycle bugfixes.
+
+The two invariants pinned here end-to-end:
+
+* the window is always bounded by its policies, and after ANY automatic
+  retire no job is ever answered from a pre-retire result;
+* a change-feed diff composed over any span of versions, applied to the
+  full mining result of the first version, equals the full mining result
+  of the last — the subscription surface never drifts from the oracle.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.api import mine_frequent_itemsets
+from repro.core.incremental import FamilyDiff
+from repro.core.registry import MiningConfig
+from repro.serve import (
+    ApiError,
+    DatasetRegistry,
+    HttpClient,
+    MiningServer,
+    MiningService,
+    dataset_fingerprint,
+)
+
+BASE = [("a", "b", "c")] * 4 + [("a", "c")] * 4 + [("b", "c")] * 4
+DELTA = [("a", "b", "c")] * 4
+CFG = MiningConfig(min_support=0.5, backend="serial")
+INC = MiningConfig(min_support=0.5, backend="serial", incremental=True)
+
+
+def oracle(txns, min_support=0.5):
+    cfg = MiningConfig(min_support=min_support, backend="serial")
+    return mine_frequent_itemsets(txns, config=cfg).itemsets
+
+
+def payload_to_family(pairs):
+    """Invert ``_family_payload``: [[items, count], ...] -> {tuple: count}."""
+    return {tuple(items): count for items, count in pairs}
+
+
+def apply_payload_diff(family, payload):
+    out = dict(family)
+    for items, _ in payload["removed"]:
+        out.pop(tuple(items), None)
+    for items, count in payload["added"]:
+        out[tuple(items)] = count
+    for items, _, new in payload["changed"]:
+        out[tuple(items)] = new
+    return out
+
+
+@pytest.fixture
+def service():
+    with MiningService(n_workers=1, result_ttl_s=60.0) as svc:
+        yield svc
+
+
+class TestIngestBuffer:
+    def test_small_appends_coalesce_until_flush_rows(self, service):
+        service.create_dataset("w", BASE, flush_rows=6)
+        info = service.append_dataset("w", DELTA[:2])
+        assert info["flushed"] is False
+        assert info["version"] == 1 and info["buffered"] == 2
+        info = service.append_dataset("w", DELTA[:3])
+        assert info["flushed"] is False and info["buffered"] == 5
+        info = service.append_dataset("w", DELTA[:1])  # 6th row: trigger
+        assert info["flushed"] is True
+        assert info["version"] == 2 and info["buffered"] == 0
+        assert info["n_transactions"] == len(BASE) + 6
+
+    def test_explicit_flush_applies_the_buffer(self, service):
+        service.create_dataset("w", BASE, flush_rows=100)
+        assert service.append_dataset("w", DELTA)["flushed"] is False
+        info = service.append_dataset("w", None, flush=True)
+        assert info["flushed"] is True and info["version"] == 2
+        assert info["n_transactions"] == len(BASE) + len(DELTA)
+        # one window advance folded all staged rows: exactly one flush
+        assert service.dataset_registry.stats()["flushes"] == 1
+
+    def test_flush_with_nothing_staged_is_a_noop(self, service):
+        service.create_dataset("w", BASE, flush_rows=100)
+        info = service.append_dataset("w", None, flush=True)
+        assert info["version"] == 1 and info["flushed"] is True
+
+    def test_submit_flushes_for_read_your_writes(self, service):
+        """A job submitted for the dataset must see every accepted append,
+        staged or not."""
+        service.create_dataset("w", BASE, flush_rows=100)
+        service.append_dataset("w", DELTA)
+        job = service.submit(None, CFG, dataset_id="w")
+        assert job.wait(30.0)
+        assert job.dataset_version == 2
+        assert job.result.itemsets == oracle(BASE + DELTA)
+        assert service.dataset_info("w")["buffered"] == 0
+
+    def test_coalesced_flush_is_one_version_bump(self, service):
+        service.create_dataset("w", BASE, flush_rows=4)
+        for txn in DELTA:  # 4 one-row appends -> a single advance
+            info = service.append_dataset("w", [txn])
+        assert info["version"] == 2
+        stats = service.dataset_registry.stats()
+        assert stats["appends"] == 4 and stats["flushes"] == 1
+
+    def test_age_trigger_fires_via_background_flusher(self, service):
+        service.create_dataset("w", BASE, flush_rows=100, flush_age_s=0.05)
+        assert service.append_dataset("w", DELTA)["flushed"] is False
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if service.dataset_info("w")["version"] == 2:
+                break
+            time.sleep(0.02)
+        info = service.dataset_info("w")
+        assert info["version"] == 2 and info["buffered"] == 0
+        assert info["n_transactions"] == len(BASE) + len(DELTA)
+
+    def test_empty_append_without_flush_rejected(self, service):
+        service.create_dataset("w", BASE)
+        with pytest.raises(ApiError):
+            service.append_dataset("w", [])
+
+
+class TestWindowPolicies:
+    def test_max_window_bounds_the_dataset(self, service):
+        service.create_dataset("w", BASE, max_window=len(BASE))
+        info = service.append_dataset("w", DELTA)
+        assert info["n_transactions"] == len(BASE)
+        assert info["retired_transactions"] == len(DELTA)
+        entry = service.dataset_registry.get("w")
+        window = (BASE + DELTA)[len(DELTA):]
+        assert list(entry.transactions) == window
+        assert entry.fingerprint == dataset_fingerprint(window)
+
+    def test_create_trims_oversized_initial_window(self, service):
+        info = service.create_dataset("w", BASE + DELTA, max_window=6)
+        assert info["n_transactions"] == 6
+        entry = service.dataset_registry.get("w")
+        assert list(entry.transactions) == (BASE + DELTA)[-6:]
+
+    def test_max_age_retires_by_arrival_stamp(self):
+        clock = [100.0]
+        reg = DatasetRegistry()
+        entry, _ = reg.create(
+            "w", BASE, max_age_s=10.0, clock=lambda: clock[0]
+        )
+        clock[0] = 105.0
+        with entry.lock:
+            res = entry.append(DELTA)
+        assert res.n_retired == 0
+        clock[0] = 112.0  # BASE (t=100) expired, DELTA (t=105) alive
+        with entry.lock:
+            res = entry.append([("x", "y")])
+        assert res.n_retired == len(BASE)
+        assert list(entry.transactions) == DELTA + [("x", "y")]
+
+    def test_window_never_empties_under_age_policy(self):
+        clock = [0.0]
+        reg = DatasetRegistry()
+        entry, _ = reg.create(
+            "w", BASE, max_age_s=1.0, clock=lambda: clock[0]
+        )
+        clock[0] = 1000.0  # everything expired
+        with entry.lock:
+            res = entry.append([])
+        assert res is not None and len(entry.transactions) == 1
+
+    def test_policy_retire_never_serves_stale(self, service):
+        """Satellite invariant: after an automatic retire, the pre-retire
+        memoized result must not answer any later submission."""
+        service.create_dataset("w", BASE + DELTA, max_window=len(BASE) + len(DELTA))
+        pre = service.submit(None, CFG, dataset_id="w")
+        assert pre.wait(30.0)
+        extra = [("b", "c")] * 6
+        info = service.append_dataset("w", extra)
+        assert info["retired_transactions"] == len(extra)
+        post = service.submit(None, CFG, dataset_id="w")
+        assert post.wait(30.0)
+        assert post.via == "run"
+        window = (BASE + DELTA + extra)[len(extra):]
+        assert post.result.itemsets == oracle(window)
+
+    def test_retire_clears_prefix_guard_and_warm_jobs_stay_correct(self, service):
+        """The warm-miner path's O(1) prefix guard must fail closed across
+        a retire — the next incremental job re-mines, never reuses a
+        snapshot that is no longer a prefix."""
+        service.create_dataset("w", BASE, max_window=len(BASE))
+        first = service.submit(None, INC, dataset_id="w")
+        assert first.wait(30.0)
+        service.append_dataset("w", DELTA)  # retires len(DELTA) oldest
+        entry = service.dataset_registry.get("w")
+        assert set(entry.versions) == {entry.version}
+        second = service.submit(None, INC, dataset_id="w")
+        assert second.wait(30.0)
+        assert second.result.itemsets == oracle((BASE + DELTA)[len(DELTA):])
+
+
+class TestChangeFeed:
+    def test_first_call_establishes_watch_with_empty_diff(self, service):
+        service.create_dataset("w", BASE)
+        payload = service.dataset_changes("w", since=1, min_support=0.5)
+        assert payload["version"] == 1 and payload["reset"] is False
+        assert payload["added"] == [] and payload["removed"] == []
+        assert payload["changed"] == []
+
+    def test_diff_equals_set_difference_of_full_results(self, service):
+        service.create_dataset("w", BASE)
+        service.dataset_changes("w", since=1, min_support=0.5)  # watch
+        service.append_dataset("w", DELTA)
+        payload = service.dataset_changes("w", since=1, min_support=0.5)
+        assert payload["reset"] is False and payload["version"] == 2
+        old, new = oracle(BASE), oracle(BASE + DELTA)
+        assert payload_to_family(payload["added"]) == {
+            i: c for i, c in new.items() if i not in old
+        }
+        assert payload_to_family(payload["removed"]) == {
+            i: c for i, c in old.items() if i not in new
+        }
+        assert apply_payload_diff(old, payload) == new
+
+    def test_multi_version_span_composes(self, service):
+        service.create_dataset("w", BASE)
+        service.dataset_changes("w", since=1, min_support=0.5)
+        service.append_dataset("w", DELTA)
+        service.append_dataset("w", [("b", "c")] * 8)
+        payload = service.dataset_changes("w", since=1, min_support=0.5)
+        assert payload["version"] == 3
+        final = oracle(BASE + DELTA + [("b", "c")] * 8)
+        assert apply_payload_diff(oracle(BASE), payload) == final
+
+    def test_uncovered_since_ships_reset_with_full_family(self, service):
+        service.create_dataset("w", BASE)
+        service.append_dataset("w", DELTA)
+        # watch established only now, at version 2: version 1 is not in
+        # its log, so since=1 cannot be answered with a diff
+        payload = service.dataset_changes("w", since=1, min_support=0.5)
+        assert payload["reset"] is True
+        assert payload_to_family(payload["family"]) == oracle(BASE + DELTA)
+
+    def test_since_ahead_of_version_rejected(self, service):
+        service.create_dataset("w", BASE)
+        with pytest.raises(ApiError):
+            service.dataset_changes("w", since=7, min_support=0.5)
+
+    def test_long_poll_wakes_on_append(self, service):
+        service.create_dataset("w", BASE)
+        service.dataset_changes("w", since=1, min_support=0.5)
+
+        def later():
+            time.sleep(0.15)
+            service.append_dataset("w", DELTA)
+
+        t = threading.Thread(target=later)
+        t.start()
+        start = time.monotonic()
+        payload = service.dataset_changes(
+            "w", since=1, min_support=0.5, timeout_s=10.0
+        )
+        elapsed = time.monotonic() - start
+        t.join()
+        assert payload["version"] == 2
+        assert elapsed < 5.0  # woke on notify, not on timeout
+
+    def test_long_poll_timeout_returns_empty_diff(self, service):
+        service.create_dataset("w", BASE)
+        payload = service.dataset_changes(
+            "w", since=1, min_support=0.5, timeout_s=0.1
+        )
+        assert payload["version"] == 1 and payload["reset"] is False
+
+    def test_feed_spans_policy_retires(self, service):
+        """Diffs must stay oracle-true when the advance includes an
+        automatic retire (append + retire fold into one transition)."""
+        service.create_dataset("w", BASE, max_window=len(BASE))
+        service.dataset_changes("w", since=1, min_support=0.5)
+        service.append_dataset("w", [("b", "c")] * 6)
+        payload = service.dataset_changes("w", since=1, min_support=0.5)
+        assert payload["reset"] is False
+        window = (BASE + [("b", "c")] * 6)[6:]
+        assert apply_payload_diff(oracle(BASE), payload) == oracle(window)
+
+    def test_watch_on_buffering_dataset_flushes_first(self, service):
+        service.create_dataset("w", BASE, flush_rows=100)
+        service.append_dataset("w", DELTA)  # staged
+        payload = service.dataset_changes("w", since=1, min_support=0.5)
+        # establishing the watch flushed the buffer: the baseline family
+        # is the fully-applied window at version 2
+        assert payload["version"] == 2
+        assert service.dataset_info("w")["buffered"] == 0
+
+
+class TestLifecycleBugfixes:
+    def test_replace_retires_old_entry_before_invalidation(self, service):
+        """Bugfix (a): a stale reference to the replaced entry must see
+        the retired barrier (409), not silently mutate a zombie window."""
+        service.create_dataset("w", BASE)
+        stale = service.dataset_registry.get("w")
+        service.create_dataset("w", DELTA, replace=True)
+        assert stale.retired is True
+        with pytest.raises(ApiError) as err:
+            with stale.lock:
+                stale.append([("x",)])
+        assert err.value.status == 409 and err.value.code == "dataset_retired"
+        # the live entry is untouched and serves the new contents
+        job = service.submit(None, CFG, dataset_id="w")
+        assert job.wait(30.0)
+        assert job.result.itemsets == oracle(DELTA)
+
+    def test_replace_wakes_long_pollers_with_409(self, service):
+        service.create_dataset("w", BASE)
+        service.dataset_changes("w", since=1, min_support=0.5)
+        caught = []
+
+        def poll():
+            try:
+                service.dataset_changes(
+                    "w", since=1, min_support=0.5, timeout_s=10.0
+                )
+            except ApiError as exc:
+                caught.append(exc)
+
+        t = threading.Thread(target=poll)
+        t.start()
+        time.sleep(0.15)
+        service.create_dataset("w", DELTA, replace=True)
+        t.join(5.0)
+        assert not t.is_alive()
+        assert caught and caught[0].code == "dataset_retired"
+
+    def test_poisoned_delta_leaves_entry_intact(self, service):
+        """Bugfix (b): validate-and-hash BEFORE mutating — a delta that
+        cannot be fingerprinted must not corrupt the window."""
+
+        class Poison:
+            def __str__(self):
+                raise RuntimeError("unrenderable item")
+
+        service.create_dataset("w", BASE)
+        entry = service.dataset_registry.get("w")
+        before_fp, before_n = entry.fingerprint, len(entry.transactions)
+        with pytest.raises(ApiError):
+            service.append_dataset("w", [("a", Poison())])
+        assert entry.version == 1
+        assert entry.fingerprint == before_fp
+        assert len(entry.transactions) == before_n
+        # the entry is still fully functional
+        info = service.append_dataset("w", DELTA)
+        assert info["version"] == 2
+        assert entry.fingerprint == dataset_fingerprint(BASE + DELTA)
+
+    def test_versions_stay_bounded_over_long_append_loop(self, service):
+        """Bugfix (c): the version->fingerprint map must not grow one
+        entry per append forever."""
+        service.create_dataset("w", BASE)
+        entry = service.dataset_registry.get("w")
+        for i in range(50):
+            service.append_dataset("w", [("a", "c")])
+            assert len(entry.versions) == 1  # only the live version
+        assert entry.version == 51
+
+    def test_pinned_version_survives_until_job_finishes(self, service):
+        service.create_dataset("w", BASE)
+        entry = service.dataset_registry.get("w")
+        job = service.submit(None, CFG, dataset_id="w")
+        assert job.wait(30.0)
+        # the pin was released when the job finished: appends prune v1
+        service.append_dataset("w", DELTA)
+        assert set(entry.versions) == {2}
+
+    def test_registry_counters_are_lock_protected(self):
+        """Bugfix (d): concurrent appends must not lose counter
+        increments to a data race."""
+        reg = DatasetRegistry()
+        n_threads, per_thread = 8, 200
+
+        def hammer():
+            for _ in range(per_thread):
+                reg.record_append()
+                reg.record_flush()
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = reg.stats()
+        assert stats["appends"] == n_threads * per_thread
+        assert stats["flushes"] == n_threads * per_thread
+
+
+class TestRandomizedStreamOracle:
+    """Satellite (e): a randomized append stream under a window policy,
+    checked against a cold re-mine of the policy-trimmed window."""
+
+    ITEMS = ["a", "b", "c", "d", "e", "f"]
+
+    @pytest.mark.parametrize("store", ["bitmap", "trie", "flatdict"])
+    def test_stream_matches_full_remine(self, store):
+        rng = random.Random(42 + len(store))
+        feed = [
+            tuple(sorted(rng.sample(self.ITEMS, rng.randint(1, 4))))
+            for _ in range(140)
+        ]
+        max_window = 40
+        with MiningService(n_workers=1, result_ttl_s=60.0) as svc:
+            svc.create_dataset("w", feed[:30], max_window=max_window)
+            window = list(feed[:30])
+            cfg = MiningConfig(
+                min_support=0.3, backend="serial", incremental=True,
+                candidate_store=store,
+            )
+            svc.dataset_changes(
+                "w", since=1, min_support=0.3, candidate_store=store
+            )
+            family = oracle(window, 0.3)
+            cursor, version = 30, 1
+            while cursor < len(feed):
+                step = rng.randint(1, 9)
+                delta = feed[cursor:cursor + step]
+                cursor += step
+                svc.append_dataset("w", delta)
+                window = (window + delta)[-max_window:]
+                info = svc.dataset_info("w")
+                assert info["n_transactions"] <= max_window  # never exceeds
+                assert info["n_transactions"] == len(window)
+                payload = svc.dataset_changes(
+                    "w", since=version, min_support=0.3, candidate_store=store
+                )
+                version = payload["version"]
+                assert payload["reset"] is False
+                family = apply_payload_diff(family, payload)
+                assert family == oracle(window, 0.3)
+            job = svc.submit(None, cfg, dataset_id="w")
+            assert job.wait(60.0)
+            assert job.result.itemsets == oracle(window, 0.3)
+
+
+class TestHttpStreaming:
+    @pytest.fixture(scope="class")
+    def server(self):
+        with MiningServer(port=0, n_workers=2) as srv:
+            yield srv
+
+    def test_streaming_lifecycle_over_http(self, server):
+        """The CI smoke shape: create with a policy, watch, append over
+        HTTP, long-poll /changes, check the diff against full results."""
+        client = HttpClient(server.url)
+        info = client.create_dataset("stream-w", BASE, max_window=len(BASE) + 4)
+        assert info["policy"]["max_window"] == len(BASE) + 4
+        baseline = client.dataset_changes("stream-w", since=1, min_support=0.5)
+        assert baseline["version"] == 1
+
+        info = client.append_dataset("stream-w", DELTA)
+        assert info["version"] == 2 and info["flushed"] is True
+        payload = client.dataset_changes(
+            "stream-w", since=1, min_support=0.5, timeout_s=5.0
+        )
+        assert payload["reset"] is False and payload["version"] == 2
+        old, new = oracle(BASE), oracle(BASE + DELTA)
+        assert payload_to_family(payload["added"]) == {
+            i: c for i, c in new.items() if i not in old
+        }
+        assert apply_payload_diff(old, payload) == new
+
+    def test_buffered_append_over_http(self, server):
+        client = HttpClient(server.url)
+        client.create_dataset("buf-w", BASE, flush_rows=8)
+        info = client.append_dataset("buf-w", DELTA)
+        assert info["flushed"] is False and info["buffered"] == len(DELTA)
+        info = client.append_dataset("buf-w", DELTA)
+        assert info["flushed"] is True and info["version"] == 2
+        assert info["n_transactions"] == len(BASE) + 2 * len(DELTA)
+
+    def test_explicit_flush_over_http(self, server):
+        client = HttpClient(server.url)
+        client.create_dataset("flush-w", BASE, flush_rows=100)
+        client.append_dataset("flush-w", DELTA)
+        info = client.append_dataset("flush-w", None, flush=True)
+        assert info["flushed"] is True and info["version"] == 2
+
+    def test_changes_rejects_bad_query(self, server):
+        client = HttpClient(server.url)
+        client.create_dataset("q-w", BASE)
+        with pytest.raises(ApiError) as err:
+            client._request(
+                "GET", "/datasets/q-w/changes?since=1&min_support=0.5&bogus=1"
+            )
+        assert err.value.status == 400
+        with pytest.raises(ApiError):
+            client._request("GET", "/datasets/q-w/changes?since=1")  # no support
+
+
+class TestWatchCli:
+    def test_parser_wires_watch_subcommand(self):
+        from repro.cli import build_parser, cmd_watch
+
+        args = build_parser().parse_args(
+            ["watch", "--dataset-id", "w", "--support", "0.5"]
+        )
+        assert args.func is cmd_watch
+        assert args.dataset_id == "w" and args.support == 0.5
+        assert args.candidate_store == "bitmap"
+        assert args.poll_timeout == 20.0
+
+    def test_submit_accepts_policy_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "submit", "--dataset-id", "w", "--input", "x.csv",
+                "--support", "0.5", "--max-window", "100",
+                "--max-age", "30", "--flush-rows", "8", "--flush-age", "2",
+            ]
+        )
+        assert args.max_window == 100 and args.max_age == 30.0
+        assert args.flush_rows == 8 and args.flush_age == 2.0
